@@ -1,0 +1,66 @@
+// Ablation: how much of vRead's win comes from eliminating data copies?
+//
+// The paper's core arithmetic is 5 copies (vanilla) -> 2 copies (vRead).
+// Sweeping the per-byte copy cost scales exactly the component vRead
+// removes: at near-zero copy cost the two systems converge (the remaining
+// gap is protocol/scheduling overhead); as memcpy gets more expensive
+// (smaller caches, slower memory, busy prefetchers) vRead's advantage
+// grows — the "low-power processor" story of the introduction.
+#include <cstdint>
+#include <iostream>
+
+#include "common.h"
+
+namespace vread::bench {
+namespace {
+
+constexpr std::uint64_t kBytes = 96ULL * 1024 * 1024;
+
+struct CopyResult {
+  double mbps;
+  double cpu_ms;  // total CPU consumed moving the 96 MB (all groups)
+};
+
+CopyResult run_reread(bool vread, double copy_cycles_per_byte) {
+  PaperSetup s = make_paper_setup(2.0, false, false, Scenario::kColocated, kBytes);
+  Cluster& c = *s.cluster;
+  c.costs().copy_cycles_per_byte = copy_cycles_per_byte;
+  if (vread) c.enable_vread();
+  c.drop_all_caches();
+  run_dfsio_read(c);             // warm: isolate the copy path from the disk
+  Cluster::Window w = c.begin_window();
+  CopyResult r{};
+  r.mbps = run_dfsio_read(c).throughput_mbps;
+  r.cpu_ms = c.window_cpu_ms(w, "client") + c.window_cpu_ms(w, "datanode1") +
+             c.window_cpu_ms(w, "host1");
+  return r;
+}
+
+}  // namespace
+}  // namespace vread::bench
+
+int main() {
+  using namespace vread::bench;
+  vread::metrics::print_banner("Ablation: copy cost",
+                               "co-located re-read vs per-byte copy cost (2.0 GHz); "
+                               "vRead removes 3 of the 5 vanilla copies");
+  vread::metrics::TablePrinter t({"copy cycles/byte", "vanilla (MBps)", "vRead (MBps)",
+                                  "gain", "vanilla CPU (ms)", "vRead CPU (ms)",
+                                  "CPU saved (ms)"});
+  for (double cpb : {0.1, 0.4, 0.8, 1.6, 3.2}) {
+    CopyResult v = run_reread(false, cpb);
+    CopyResult r = run_reread(true, cpb);
+    t.add_row({vread::metrics::fmt(cpb, 1), vread::metrics::fmt(v.mbps),
+               vread::metrics::fmt(r.mbps),
+               vread::metrics::fmt_pct(vread::metrics::percent_gain(v.mbps, r.mbps)),
+               vread::metrics::fmt(v.cpu_ms, 0), vread::metrics::fmt(r.cpu_ms, 0),
+               vread::metrics::fmt(v.cpu_ms - r.cpu_ms, 0)});
+  }
+  t.print();
+  std::cout << "\nExpected shape: the absolute CPU saved grows with the per-byte copy\n"
+               "cost (5 copies vs 2 copies of the same 96 MB), confirming the copy\n"
+               "elimination is the mechanism. Throughput-wise vRead wins at every\n"
+               "point; at extreme copy costs its synchronous request/response chain\n"
+               "becomes the limiter, compressing the percentage gain.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: remote-read daemon transport — RDMA (RoCE) vs. user-space TCP
+// (paper §3.2 footnote 2 and §5.1: "We also implemented a TCP/IP version
+// prototype, but note that it consumes more CPU cycles for remote reads").
+//
+// Expected: near-identical throughput on an unloaded 10 Gbps LAN, but the
+// TCP daemons burn several times the transport CPU — the reason the paper
+// ships RoCE.
+#include <cstdint>
+#include <iostream>
+
+#include "common.h"
+
+namespace vread::bench {
+namespace {
+
+constexpr std::uint64_t kBytes = 96ULL * 1024 * 1024;
+
+struct Result {
+  double read_mbps, reread_mbps;
+  double transport_cpu_ms;  // rdma + vRead-net cycles on both hosts
+};
+
+Result run(vread::core::VReadDaemon::Transport t) {
+  PaperSetup s = make_paper_setup(2.0, false, true, Scenario::kRemote, kBytes, 4242, t);
+  Cluster& c = *s.cluster;
+  Result r{};
+  r.read_mbps = run_dfsio_read(c).throughput_mbps;
+  r.reread_mbps = run_dfsio_read(c).throughput_mbps;
+  double cycles = 0;
+  for (const char* host : {"host1", "host2"}) {
+    cycles += static_cast<double>(
+        c.acct().group_total(host, vread::metrics::CycleCategory::kRdma) +
+        c.acct().group_total(host, vread::metrics::CycleCategory::kVreadNet));
+  }
+  r.transport_cpu_ms = cycles / (c.config().freq_ghz * 1e6);
+  return r;
+}
+
+}  // namespace
+}  // namespace vread::bench
+
+int main() {
+  using namespace vread::bench;
+  vread::metrics::print_banner("Ablation: remote transport",
+                               "RDMA (RoCE) vs user-space TCP between vRead daemons, "
+                               "remote read, 2.0 GHz");
+  Result rdma = run(vread::core::VReadDaemon::Transport::kRdma);
+  Result tcp = run(vread::core::VReadDaemon::Transport::kTcp);
+  vread::metrics::TablePrinter t(
+      {"transport", "read (MBps)", "re-read (MBps)", "transport CPU (ms)"});
+  t.add_row({"RDMA (RoCE)", vread::metrics::fmt(rdma.read_mbps),
+             vread::metrics::fmt(rdma.reread_mbps),
+             vread::metrics::fmt(rdma.transport_cpu_ms)});
+  t.add_row({"TCP daemons", vread::metrics::fmt(tcp.read_mbps),
+             vread::metrics::fmt(tcp.reread_mbps),
+             vread::metrics::fmt(tcp.transport_cpu_ms)});
+  t.print();
+  std::cout << "\nTCP/RDMA transport-CPU ratio: "
+            << vread::metrics::fmt(tcp.transport_cpu_ms / rdma.transport_cpu_ms, 1)
+            << "x (paper: the TCP version 'consumes more CPU cycles', Fig. 8)\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared scenario builders for the benchmark harnesses.
+//
+// Every bench binary regenerates one table/figure of the paper; the
+// topology here is Fig. 10: Host1 runs the client VM (with the namenode)
+// and datanode1; Host2 runs datanode2; in the "4 VMs" configurations each
+// host is filled with 85 % lookbusy background VMs.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "apps/cluster.h"
+#include "apps/dfsio.h"
+#include "metrics/table.h"
+
+namespace vread::bench {
+
+using apps::Cluster;
+using apps::ClusterConfig;
+using apps::DfsIoResult;
+using apps::TestDfsIo;
+
+enum class Scenario { kColocated, kRemote, kHybrid };
+
+inline const char* to_string(Scenario s) {
+  switch (s) {
+    case Scenario::kColocated: return "co-located";
+    case Scenario::kRemote: return "remote";
+    case Scenario::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+struct PaperSetup {
+  std::unique_ptr<Cluster> cluster;
+  std::string client = "client";
+};
+
+// Builds the Fig. 10 topology. `four_vms` adds the lookbusy background
+// VMs; `vread` installs the vRead stack after `data_bytes` of /data have
+// been preloaded according to `scenario`.
+inline PaperSetup make_paper_setup(double freq_ghz, bool four_vms, bool vread,
+                                   Scenario scenario, std::uint64_t data_bytes,
+                                   std::uint64_t seed = 4242,
+                                   core::VReadDaemon::Transport transport =
+                                       core::VReadDaemon::Transport::kRdma,
+                                   std::uint64_t block_size = 16ULL * 1024 * 1024) {
+  PaperSetup s;
+  ClusterConfig cfg;
+  cfg.freq_ghz = freq_ghz;
+  cfg.block_size = block_size;
+  s.cluster = std::make_unique<Cluster>(cfg);
+  Cluster& c = *s.cluster;
+  c.add_host("host1");
+  c.add_host("host2");
+  c.add_vm("host1", "client");
+  c.create_namenode("client");
+  c.add_datanode("host1", "datanode1");
+  c.add_datanode("host2", "datanode2");
+  c.add_client("client");
+  if (four_vms) {
+    // Fill each quad-core host to 4 VMs with 85 % lookbusy, as in §5.2.
+    c.add_lookbusy("host1", "bg1a", 0.85);
+    c.add_lookbusy("host1", "bg1b", 0.85);
+    c.add_lookbusy("host2", "bg2a", 0.85);
+    c.add_lookbusy("host2", "bg2b", 0.85);
+    c.add_lookbusy("host2", "bg2c", 0.85);
+  }
+  if (data_bytes > 0) {
+    switch (scenario) {
+      case Scenario::kColocated:
+        c.preload_file("/data", data_bytes, seed, {{"datanode1"}});
+        break;
+      case Scenario::kRemote:
+        c.preload_file("/data", data_bytes, seed, {{"datanode2"}});
+        break;
+      case Scenario::kHybrid:
+        c.preload_file("/data", data_bytes, seed, {{"datanode1"}, {"datanode2"}});
+        break;
+    }
+  }
+  if (vread) c.enable_vread(transport);
+  c.drop_all_caches();
+  return s;
+}
+
+// Runs one DFSIO read over /data and returns the result (bounded run:
+// lookbusy VMs keep the event queue busy forever).
+inline DfsIoResult run_dfsio_read(Cluster& c, std::uint64_t buffer = 1 << 20) {
+  DfsIoResult r;
+  c.run_job(TestDfsIo::read(c, "client", "/data", buffer, r));
+  return r;
+}
+
+}  // namespace vread::bench

@@ -1,0 +1,104 @@
+// Regenerates Fig. 2: data-access delay of virtual HDFS (vanilla,
+// co-located datanode VM) vs. reading the same file from the VM-local file
+// system, request sizes 64 KB / 1 MB / 4 MB, with and without caches.
+//
+// Paper shape: inter-VM HDFS delay is a large multiple of the local-FS
+// delay at every request size, for both cold reads and re-reads — the
+// motivation for vRead.
+#include <cstdint>
+#include <iostream>
+
+#include "common.h"
+#include "hdfs/dfs_client.h"
+
+namespace vread::bench {
+namespace {
+
+constexpr std::uint64_t kFileBytes = 64ULL * 1024 * 1024;  // scaled from 1 GB
+
+// Average per-request delay (ms) of sequentially reading the whole file
+// from the client VM's *local* filesystem with `req` byte requests.
+double local_read_delay_ms(Cluster& c, std::uint64_t req, bool cold) {
+  virt::Vm* vm = c.vm("client");
+  std::uint32_t ino = *vm->fs().lookup("/localfile");
+  c.drop_all_caches();
+  std::uint64_t requests_warm = 0;
+  auto warm = [](virt::Vm* v, std::uint32_t inode, std::uint64_t total,
+                 std::uint64_t* count) -> sim::Task {
+    mem::Buffer out;
+    co_await v->fs_read(inode, 0, total, out, hw::CycleCategory::kClientApp);
+    ++*count;
+  };
+  if (!cold) c.run_job(warm(vm, ino, kFileBytes, &requests_warm));
+  const sim::SimTime start = c.sim().now();
+  std::uint64_t requests = 0;
+  auto job = [](virt::Vm* v, std::uint32_t inode, std::uint64_t request,
+                std::uint64_t total, std::uint64_t* count) -> sim::Task {
+    for (std::uint64_t off = 0; off < total; off += request) {
+      mem::Buffer out;
+      co_await v->fs_read(inode, off, request, out, hw::CycleCategory::kClientApp);
+      ++*count;
+    }
+  };
+  c.run_job(job(vm, ino, req, kFileBytes, &requests));
+  return sim::to_millis(c.sim().now() - start) / static_cast<double>(requests);
+}
+
+// Average per-request delay (ms) of the same pattern through vanilla HDFS
+// from the co-located datanode VM.
+double hdfs_read_delay_ms(Cluster& c, std::uint64_t req, bool cold) {
+  c.drop_all_caches();
+  if (!cold) run_dfsio_read(c);  // warm pass
+  const sim::SimTime start = c.sim().now();
+  std::uint64_t requests = 0;
+  auto job = [](Cluster* cl, std::uint64_t request, std::uint64_t* count) -> sim::Task {
+    hdfs::DfsClient* client = cl->client("client");
+    std::unique_ptr<hdfs::DfsInputStream> in;
+    co_await client->open("/data", in);
+    for (;;) {
+      mem::Buffer out;
+      co_await in->read(request, out);
+      if (out.empty()) break;
+      ++*count;
+    }
+    co_await in->close();
+  };
+  c.run_job(job(&c, req, &requests));
+  return sim::to_millis(c.sim().now() - start) / static_cast<double>(requests);
+}
+
+}  // namespace
+}  // namespace vread::bench
+
+int main() {
+  using namespace vread::bench;
+  vread::metrics::print_banner(
+      "Figure 2", "virtual HDFS data-access delay vs. VM-local reads (vanilla, "
+                  "co-located datanode VM, 2.0 GHz)");
+
+  PaperSetup s = make_paper_setup(2.0, /*four_vms=*/false, /*vread=*/false,
+                                  Scenario::kColocated, kFileBytes);
+  // The local-FS baseline file lives inside the client VM itself.
+  s.cluster->vm("client")->fs().write_file(
+      "/localfile", vread::mem::Buffer::deterministic(77, 0, kFileBytes));
+
+  for (bool cold : {true, false}) {
+    vread::metrics::TablePrinter t(
+        {"request", "local (ms)", "inter-VM HDFS (ms)", "slowdown"});
+    for (std::uint64_t req : {64ULL << 10, 1ULL << 20, 4ULL << 20}) {
+      double local = local_read_delay_ms(*s.cluster, req, cold);
+      double hdfs = hdfs_read_delay_ms(*s.cluster, req, cold);
+      std::string label = req >= (1 << 20)
+                              ? std::to_string(req >> 20) + "MB"
+                              : std::to_string(req >> 10) + "KB";
+      t.add_row({label, vread::metrics::fmt(local, 3), vread::metrics::fmt(hdfs, 3),
+                 vread::metrics::fmt(hdfs / local, 1) + "x"});
+    }
+    std::cout << "\n-- Access delay " << (cold ? "WITHOUT cache" : "WITH cache (re-read)")
+              << " --\n";
+    t.print();
+  }
+  std::cout << "\nPaper reference shape: inter-VM HDFS delay is several times the local\n"
+               "read delay at every request size, cold and cached alike (Fig. 2a/2b).\n";
+  return 0;
+}

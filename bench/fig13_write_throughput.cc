@@ -1,0 +1,61 @@
+// Regenerates Fig. 13: HDFS write throughput, vanilla vs. vRead, for the
+// co-located / remote / hybrid scenarios at 2.0 GHz.
+//
+// Paper shape: the two systems are indistinguishable — vRead's only write-
+// path addition is the dentry/inode refresh of the affected mount point on
+// block completion (vRead_update), whose overhead is negligible.
+#include <cstdint>
+#include <iostream>
+
+#include "common.h"
+
+namespace vread::bench {
+namespace {
+
+constexpr std::uint64_t kBytes = 96ULL * 1024 * 1024;  // scaled from 5 GB
+
+double run_write(bool vread, Scenario scenario) {
+  PaperSetup s = make_paper_setup(2.0, /*four_vms=*/false, vread, scenario,
+                                  /*data_bytes=*/0);
+  Cluster& c = *s.cluster;
+  std::vector<std::string> pipeline;
+  switch (scenario) {
+    case Scenario::kColocated: pipeline = {"datanode1"}; break;
+    case Scenario::kRemote: pipeline = {"datanode2"}; break;
+    case Scenario::kHybrid: pipeline = {"datanode1", "datanode2"}; break;
+  }
+  DfsIoResult r;
+  c.run_job(TestDfsIo::write(c, "client", "/out", kBytes, 9'001,
+                             Cluster::place_on(pipeline), r));
+  // Sanity: with vRead enabled, block completions must have refreshed the
+  // mounts so the new file is immediately shortcut-readable.
+  if (vread) {
+    DfsIoResult rd;
+    c.run_job(TestDfsIo::read(c, "client", "/out", 1 << 20, rd));
+    if (rd.bytes != kBytes) throw std::runtime_error("post-write read mismatch");
+  }
+  return r.throughput_mbps;
+}
+
+}  // namespace
+}  // namespace vread::bench
+
+int main() {
+  using namespace vread::bench;
+  vread::metrics::print_banner("Figure 13",
+                               "HDFS write throughput (TestDFSIO-write, 2.0 GHz, 96 MB "
+                               "scaled from 5 GB)");
+  vread::metrics::TablePrinter t({"scenario", "vanilla (MBps)", "vRead (MBps)", "delta"});
+  for (Scenario sc : {Scenario::kColocated, Scenario::kRemote, Scenario::kHybrid}) {
+    double v = run_write(false, sc);
+    double r = run_write(true, sc);
+    t.add_row({to_string(sc), vread::metrics::fmt(v), vread::metrics::fmt(r),
+               vread::metrics::fmt_pct(vread::metrics::percent_gain(v, r))});
+  }
+  t.print();
+  std::cout << "\nPaper reference shape: vRead's mount-refresh on block completion is\n"
+               "negligible — write throughput matches vanilla in all three scenarios\n"
+               "(and writes to a remote/replicated pipeline are slower than co-located\n"
+               "for both systems).\n";
+  return 0;
+}

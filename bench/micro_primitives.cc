@@ -1,0 +1,128 @@
+// google-benchmark microbenchmarks of the simulator's own primitives: how
+// fast does the engine itself run? These guard against regressions that
+// would make the figure-level benches impractically slow (the event loop
+// executes millions of events per simulated second of a busy host).
+#include <benchmark/benchmark.h>
+
+#include "fs/disk_image.h"
+#include "fs/simfs.h"
+#include "hw/cpu.h"
+#include "mem/buffer.h"
+#include "mem/page_cache.h"
+#include "metrics/accounting.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+
+namespace vread {
+namespace {
+
+void BM_EventLoopDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.post_at(i, [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopDispatch);
+
+sim::Task ping(sim::Simulation& sim, sim::Mailbox<int>& a, sim::Mailbox<int>& b, int n) {
+  (void)sim;
+  for (int i = 0; i < n; ++i) {
+    a.send(i);
+    int v = co_await b.recv();
+    benchmark::DoNotOptimize(v);
+  }
+}
+
+sim::Task pong(sim::Mailbox<int>& a, sim::Mailbox<int>& b, int n) {
+  for (int i = 0; i < n; ++i) {
+    int v = co_await a.recv();
+    b.send(v);
+  }
+}
+
+void BM_MailboxPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::Mailbox<int> a(sim), b(sim);
+    sim.spawn(pong(a, b, 1000));
+    sim.spawn(ping(sim, a, b, 1000));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MailboxPingPong);
+
+sim::Task burn_loop(hw::CpuScheduler& cpu, hw::ThreadId tid, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await cpu.consume(tid, 100'000, hw::CycleCategory::kOther);
+  }
+}
+
+void BM_CpuSchedulerBursts(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    metrics::CycleAccounting acct;
+    hw::CpuScheduler cpu(sim, acct, {.cores = 4, .freq_ghz = 2.0});
+    for (int t = 0; t < 6; ++t) {
+      sim.spawn(burn_loop(cpu, cpu.add_thread("t", "g"), 200));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1200);
+}
+BENCHMARK(BM_CpuSchedulerBursts);
+
+void BM_PageCacheMissTrack(benchmark::State& state) {
+  mem::PageCache cache(64ULL << 20);
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.miss_bytes(1, off, 65536));
+    cache.fill(1, off, 65536);
+    off += 65536;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 65536);
+}
+BENCHMARK(BM_PageCacheMissTrack);
+
+void BM_SimFsSequentialRead(benchmark::State& state) {
+  auto img = std::make_shared<fs::DiskImage>(64ULL << 20);
+  fs::SimFs fs = fs::SimFs::format(img);
+  std::uint32_t ino = fs.write_file("/f", mem::Buffer::deterministic(1, 0, 8 << 20));
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    mem::Buffer b = fs.read(ino, off % (7 << 20), 65536);
+    benchmark::DoNotOptimize(b.data());
+    off += 65536;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 65536);
+}
+BENCHMARK(BM_SimFsSequentialRead);
+
+void BM_BufferChecksum(benchmark::State& state) {
+  mem::Buffer b = mem::Buffer::deterministic(9, 0, 1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.checksum());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_BufferChecksum);
+
+void BM_DeterministicPayload(benchmark::State& state) {
+  for (auto _ : state) {
+    mem::Buffer b = mem::Buffer::deterministic(7, 0, 1 << 20);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_DeterministicPayload);
+
+}  // namespace
+}  // namespace vread
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// MapReduce over virtual HDFS: the paper's motivating workload class.
+// Runs a byte-histogram job (one map task per block, shuffle, reduce,
+// output written back to HDFS) on the hybrid two-host cluster, vanilla vs
+// vRead, and verifies the result against ground truth on both paths.
+//
+//   $ ./examples/mapreduce_job
+#include <cstdint>
+#include <iostream>
+
+#include "apps/cluster.h"
+#include "apps/mapreduce.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+
+using namespace vread;
+
+namespace {
+
+apps::MapReduceResult run(bool with_vread) {
+  apps::ClusterConfig cfg;
+  cfg.block_size = 16ULL << 20;
+  apps::Cluster c(cfg);
+  c.add_host("host1");
+  c.add_host("host2");
+  c.add_vm("host1", "client");
+  c.create_namenode("client");
+  c.add_datanode("host1", "datanode1");
+  c.add_datanode("host2", "datanode2");
+  c.add_client("client");
+  const std::uint64_t bytes = 96ULL << 20;
+  c.preload_file("/job/input", bytes, 17, {{"datanode1"}, {"datanode2"}});
+  if (with_vread) c.enable_vread();
+  c.drop_all_caches();
+
+  apps::MapReduceResult r;
+  c.run_job(apps::MapReduceJob::run(
+      c, "client", {.input = "/job/input", .output = "/job/output", .reducers = 4}, r));
+  if (r.histogram != apps::MapReduceJob::expected_histogram(17, bytes)) {
+    std::cerr << "RESULT MISMATCH\n";
+    std::exit(1);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== MapReduce byte-histogram job over virtual HDFS ===\n\n";
+  apps::MapReduceResult vanilla = run(false);
+  apps::MapReduceResult vr = run(true);
+
+  metrics::TablePrinter t({"", "job time (s)", "client CPU (ms)", "map tasks"});
+  t.add_row({"vanilla", metrics::fmt(sim::to_seconds(vanilla.elapsed), 3),
+             metrics::fmt(vanilla.cpu_time_ms, 0), std::to_string(vanilla.map_tasks)});
+  t.add_row({"vRead", metrics::fmt(sim::to_seconds(vr.elapsed), 3),
+             metrics::fmt(vr.cpu_time_ms, 0), std::to_string(vr.map_tasks)});
+  t.print();
+  std::cout << "\njob speedup with vRead: "
+            << metrics::fmt_pct(metrics::percent_reduction(
+                   sim::to_seconds(vanilla.elapsed), sim::to_seconds(vr.elapsed)))
+            << " completion-time reduction; results verified identical to ground "
+               "truth on both paths\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// netperf-style TCP_RR between two VMs (paper Fig. 3: I/O thread
+// synchronization overhead). The client sends `req_size` bytes, the server
+// answers with a small response; the transaction rate collapses when vCPU
+// and vhost threads cannot all find free cores.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/cluster.h"
+#include "metrics/stats.h"
+
+namespace vread::apps {
+
+struct NetperfResult {
+  std::uint64_t transactions = 0;
+  sim::SimTime elapsed = 0;
+  double rate_per_sec = 0.0;
+};
+
+class Netperf {
+ public:
+  static constexpr std::uint16_t kPort = 12865;
+  static constexpr std::uint64_t kResponseBytes = 128;
+
+  // Server must be spawned first; it serves exactly `transactions` RRs.
+  static sim::Task server(Cluster& cluster, std::string server_vm,
+                          std::uint64_t req_size, int transactions) {
+    virt::Vm* vm = cluster.vm(server_vm);
+    cluster.net().listen(*vm, kPort);
+    virt::TcpSocket conn;
+    co_await cluster.net().accept(*vm, kPort, conn);
+    for (int i = 0; i < transactions; ++i) {
+      mem::Buffer req;
+      co_await conn.recv_exact(req_size, req, hw::CycleCategory::kDatanodeApp);
+      co_await conn.send(mem::Buffer(kResponseBytes),
+                         hw::CycleCategory::kDatanodeApp);
+    }
+  }
+
+  static sim::Task client(Cluster& cluster, std::string client_vm,
+                          std::string server_vm, std::uint64_t req_size,
+                          int transactions, NetperfResult& out) {
+    virt::Vm* vm = cluster.vm(client_vm);
+    virt::TcpSocket conn;
+    co_await cluster.net().connect(*vm, server_vm, kPort, conn);
+    const sim::SimTime start = cluster.sim().now();
+    for (int i = 0; i < transactions; ++i) {
+      co_await conn.send(mem::Buffer(req_size), hw::CycleCategory::kClientApp);
+      mem::Buffer resp;
+      co_await conn.recv_exact(kResponseBytes, resp, hw::CycleCategory::kClientApp);
+    }
+    out.transactions = static_cast<std::uint64_t>(transactions);
+    out.elapsed = cluster.sim().now() - start;
+    out.rate_per_sec = metrics::rate_per_sec(out.transactions, out.elapsed);
+  }
+};
+
+}  // namespace vread::apps

@@ -1,0 +1,58 @@
+// Row-oriented dataset stored as HDFS files, shared by the HBase / Hive /
+// Sqoop workloads. Rows are fixed-size records whose content derives
+// deterministically from (seed, row index), so any access pattern can be
+// integrity-checked.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/cluster.h"
+
+namespace vread::apps {
+
+struct HdfsTable {
+  std::string name;
+  std::uint64_t rows = 0;
+  std::uint64_t row_bytes = 0;
+  std::uint64_t rows_per_file = 0;
+  std::uint64_t seed = 0;
+  std::vector<std::string> files;  // HDFS paths, in row order
+
+  std::uint64_t total_bytes() const { return rows * row_bytes; }
+
+  // Locates row `r`: file index + byte offset within that file.
+  struct RowLoc {
+    std::size_t file_index;
+    std::uint64_t offset;
+  };
+  RowLoc locate(std::uint64_t r) const {
+    return RowLoc{static_cast<std::size_t>(r / rows_per_file),
+                  (r % rows_per_file) * row_bytes};
+  }
+};
+
+// Materializes a table: `rows` records of `row_bytes` each, split into
+// files of `rows_per_file`, block placements cycling over `placements`.
+inline HdfsTable create_table(Cluster& cluster, const std::string& name,
+                              std::uint64_t rows, std::uint64_t row_bytes,
+                              std::uint64_t rows_per_file, std::uint64_t seed,
+                              std::vector<std::vector<std::string>> placements) {
+  HdfsTable t;
+  t.name = name;
+  t.rows = rows;
+  t.row_bytes = row_bytes;
+  t.rows_per_file = rows_per_file;
+  t.seed = seed;
+  const std::uint64_t n_files = (rows + rows_per_file - 1) / rows_per_file;
+  for (std::uint64_t f = 0; f < n_files; ++f) {
+    const std::uint64_t file_rows = std::min(rows_per_file, rows - f * rows_per_file);
+    std::string path = "/" + name + "/part-" + std::to_string(f);
+    cluster.preload_file(path, file_rows * row_bytes, seed + f, placements);
+    t.files.push_back(std::move(path));
+  }
+  return t;
+}
+
+}  // namespace vread::apps

@@ -1,0 +1,100 @@
+#include "core/libvread.h"
+
+namespace vread::core {
+
+using hw::CycleCategory;
+using virt::ShmRequest;
+using virt::ShmResponse;
+
+sim::Task LibVread::call(ShmRequest req, ShmResponse& resp) {
+  req.id = next_req_++;
+  co_await channel_.call(std::move(req), resp);
+}
+
+sim::Task LibVread::open(const std::string& block_name, const std::string& datanode_id,
+                         std::uint64_t& vfd, bool& ok) {
+  // Library + JNI work for initializing the descriptor's data structures.
+  co_await vm_.run_vcpu(vm_.host().costs().vread_open_guest, CycleCategory::kClientApp);
+  ShmRequest req;
+  req.op = static_cast<int>(VReadOp::kOpen);
+  req.block_name = block_name;
+  req.datanode_id = datanode_id;
+  ShmResponse resp;
+  co_await call(std::move(req), resp);
+  ok = resp.status == 0;
+  vfd = ok ? resp.vfd : 0;
+}
+
+sim::Task LibVread::read(std::uint64_t vfd, std::uint64_t offset, std::uint64_t len,
+                         mem::Buffer& out, std::int64_t& result) {
+  ShmRequest req;
+  req.op = static_cast<int>(VReadOp::kRead);
+  req.vfd = vfd;
+  req.offset = offset;
+  req.len = len;
+  ShmResponse resp;
+  co_await call(std::move(req), resp);
+  if (resp.status < 0) {
+    result = -1;
+    co_return;
+  }
+  out = std::move(resp.data);
+  result = static_cast<std::int64_t>(out.size());
+}
+
+sim::Task LibVread::close(std::uint64_t vfd) {
+  ShmRequest req;
+  req.op = static_cast<int>(VReadOp::kClose);
+  req.vfd = vfd;
+  ShmResponse resp;
+  co_await call(std::move(req), resp);
+  offsets_.erase(vfd);
+}
+
+sim::Task LibVread::update(const std::string& datanode_id) {
+  ShmRequest req;
+  req.op = static_cast<int>(VReadOp::kUpdate);
+  req.datanode_id = datanode_id;
+  ShmResponse resp;
+  co_await call(std::move(req), resp);
+}
+
+sim::Task LibVread::vread_open(const std::string& block_name,
+                               const std::string& datanode_id, std::uint64_t& vfd) {
+  bool ok = false;
+  co_await open(block_name, datanode_id, vfd, ok);
+  if (ok) offsets_[vfd] = 0;
+}
+
+sim::Task LibVread::vread_read(std::uint64_t vfd, std::uint64_t len, mem::Buffer& out,
+                               std::int64_t& result) {
+  auto it = offsets_.find(vfd);
+  if (it == offsets_.end()) {
+    result = -1;
+    co_return;
+  }
+  co_await read(vfd, it->second, len, out, result);
+  if (result > 0) it->second += static_cast<std::uint64_t>(result);
+}
+
+sim::Task LibVread::vread_seek(std::uint64_t vfd, std::uint64_t offset,
+                               std::int64_t& result) {
+  auto it = offsets_.find(vfd);
+  if (it == offsets_.end()) {
+    result = -1;
+    co_return;
+  }
+  it->second = offset;
+  result = static_cast<std::int64_t>(offset);
+}
+
+sim::Task LibVread::vread_close(std::uint64_t vfd, int& result) {
+  if (offsets_.count(vfd) == 0) {
+    result = -1;
+    co_return;
+  }
+  co_await close(vfd);
+  result = 0;
+}
+
+}  // namespace vread::core

@@ -1,0 +1,61 @@
+// libvread: the guest-side user-level library (paper §3.1, Table 1).
+//
+// Wraps the shared-memory channel to the local vRead daemon behind the
+// four-call API the paper gives HDFS (vRead_open / vRead_read / vRead_seek
+// / vRead_close, plus vRead_update used by the write path), and implements
+// the hdfs::BlockReader seam so DfsInputStream's Algorithms 1-2 can use it
+// transparently. Guest applications above HDFS never see any of this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "core/vread_daemon.h"
+#include "hdfs/block_reader.h"
+#include "virt/shm_channel.h"
+#include "virt/vm.h"
+
+namespace vread::core {
+
+class LibVread : public hdfs::BlockReader {
+ public:
+  // Attaches the client VM to its host's daemon (allocates the ivshmem
+  // channel and the per-VM daemon worker).
+  LibVread(virt::Vm& client_vm, VReadDaemon& daemon)
+      : vm_(client_vm), channel_(daemon.attach_client(client_vm)) {}
+
+  // ---- hdfs::BlockReader (offset-explicit, used by DFSClient) ----
+  sim::Task open(const std::string& block_name, const std::string& datanode_id,
+                 std::uint64_t& vfd, bool& ok) override;
+  sim::Task read(std::uint64_t vfd, std::uint64_t offset, std::uint64_t len,
+                 mem::Buffer& out, std::int64_t& result) override;
+  sim::Task close(std::uint64_t vfd) override;
+  sim::Task update(const std::string& datanode_id) override;
+
+  // ---- Table 1 API (descriptor carries a file offset, like a POSIX fd) ----
+  // Returns the descriptor in `vfd` (0 on failure, matching "vRead
+  // descriptor" semantics where HDFS falls back when none is obtained).
+  sim::Task vread_open(const std::string& block_name, const std::string& datanode_id,
+                       std::uint64_t& vfd);
+  // Reads up to `len` bytes at the descriptor's current offset; `result`
+  // is the byte count read (or -1) and the offset advances by it.
+  sim::Task vread_read(std::uint64_t vfd, std::uint64_t len, mem::Buffer& out,
+                       std::int64_t& result);
+  // Sets the descriptor's offset; `result` is the resulting offset.
+  sim::Task vread_seek(std::uint64_t vfd, std::uint64_t offset, std::int64_t& result);
+  // Returns 0 on success, -1 if the descriptor is unknown.
+  sim::Task vread_close(std::uint64_t vfd, int& result);
+
+  virt::Vm& vm() { return vm_; }
+
+ private:
+  sim::Task call(virt::ShmRequest req, virt::ShmResponse& resp);
+
+  virt::Vm& vm_;
+  virt::ShmChannel& channel_;
+  std::unordered_map<std::uint64_t, std::uint64_t> offsets_;  // vfd -> file offset
+  std::uint64_t next_req_ = 1;
+};
+
+}  // namespace vread::core

@@ -1,0 +1,491 @@
+#include "core/vread_daemon.h"
+
+
+namespace vread::core {
+
+using hw::CycleCategory;
+using virt::ShmRequest;
+using virt::ShmResponse;
+
+namespace {
+// Host-page-cache object key for (image, inode): the daemon reads guest
+// filesystems through the host's file-system cache.
+std::uint64_t cache_key(const fs::DiskImage& image, std::uint32_t inode) {
+  return (image.id() << 32) | inode;
+}
+// Control-message sizes on the wire (request/response headers).
+constexpr std::uint64_t kCtrlBytes = 96;
+}  // namespace
+
+VReadDaemon::VReadDaemon(virt::Host& host)
+    : host_(host),
+      control_(std::make_unique<hw::WorkerThread>(host.sim(), host.cpu(),
+                                                  "vread-ctl", host.name())) {}
+
+void VReadDaemon::register_local_datanode(const std::string& dn_id,
+                                          fs::DiskImagePtr image, std::string dir) {
+  local_mounts_[dn_id] =
+      LocalMount{std::make_shared<fs::LoopMount>(std::move(image)), std::move(dir)};
+}
+
+void VReadDaemon::register_remote_datanode(const std::string& dn_id, VReadDaemon* remote) {
+  remote_peers_[dn_id] = remote;
+}
+
+void VReadDaemon::unregister_datanode(const std::string& dn_id) {
+  local_mounts_.erase(dn_id);
+  remote_peers_.erase(dn_id);
+}
+
+void VReadDaemon::migrate_datanode(const std::string& dn_id, VReadDaemon& from,
+                                   VReadDaemon& to, fs::DiskImagePtr image) {
+  // Shared-storage live migration (§6): the image is reachable from both
+  // hosts; only the hash tables change ("the vRead hash tables in both
+  // hosts just need to be updated"). Open descriptors keep the old mount
+  // alive through their shared references and drain naturally; new opens
+  // follow the updated registry.
+  from.local_mounts_.erase(dn_id);
+  from.remote_peers_[dn_id] = &to;
+  to.remote_peers_.erase(dn_id);
+  to.register_local_datanode(dn_id, std::move(image));
+}
+
+void VReadDaemon::subscribe(hdfs::NameNode& nn) {
+  nn.register_listener([this](const hdfs::NameNode::BlockEvent& ev) {
+    // Only mounts this daemon owns need a refresh; remote events reach the
+    // remote daemon through its own subscription.
+    if (local_mounts_.count(ev.datanode_id) == 0) return;
+    std::string dn = ev.datanode_id;
+    control_->submit([this, dn]() -> sim::Task {  //
+      co_await local_refresh(control_->tid(), dn);
+    });
+  });
+}
+
+virt::ShmChannel& VReadDaemon::attach_client(virt::Vm& client_vm) {
+  auto port = std::make_unique<ClientPort>();
+  port->channel = std::make_unique<virt::ShmChannel>(client_vm, host_.costs());
+  port->tid = host_.cpu().add_thread("vread-daemon-" + client_vm.name(), host_.name());
+  clients_.push_back(std::move(port));
+  host_.sim().spawn(serve(*clients_.back()));
+  return *clients_.back()->channel;
+}
+
+sim::Task VReadDaemon::serve(ClientPort& port) {
+  const hw::CostModel& cm = host_.costs();
+  for (;;) {
+    ShmRequest req = co_await port.channel->requests().recv();
+    // eventfd wakeup on the daemon side.
+    co_await host_.cpu().consume(port.tid, cm.doorbell_host, CycleCategory::kInterrupt);
+    co_await handle(port, std::move(req));
+  }
+}
+
+sim::Task VReadDaemon::handle(ClientPort& port, ShmRequest req) {
+  ShmResponse resp;
+  resp.id = req.id;
+  bool zero_copy = false;
+
+  switch (static_cast<VReadOp>(req.op)) {
+    case VReadOp::kOpen: {
+      std::uint64_t vfd = 0;
+      std::int64_t status = kVReadErrNoDatanode;
+      if (local_mounts_.count(req.datanode_id) != 0) {
+        co_await local_open(port.tid, req.datanode_id, req.block_name, vfd, status);
+      } else if (auto it = remote_peers_.find(req.datanode_id);
+                 it != remote_peers_.end()) {
+        std::uint64_t peer_vfd = 0;
+        co_await remote_open(port.tid, it->second, req.datanode_id, req.block_name,
+                             peer_vfd, status);
+        if (status == 0) {
+          vfd = next_vfd_++;
+          Descriptor d;
+          d.dn_id = req.datanode_id;
+          d.block_name = req.block_name;
+          d.remote = true;
+          d.peer = it->second;
+          d.peer_vfd = peer_vfd;
+          descriptors_[vfd] = d;
+        }
+      } else {
+        ++failed_opens_;
+      }
+      resp.status = status;
+      resp.vfd = vfd;
+      break;
+    }
+    case VReadOp::kRead: {
+      auto it = descriptors_.find(req.vfd);
+      if (it == descriptors_.end()) {
+        resp.status = kVReadErrBadFd;
+        break;
+      }
+      if (it->second.remote) {
+        co_await stream_remote_read(port, req, it->second);
+      } else {
+        co_await stream_local_read(port, req, it->second);
+      }
+      co_return;  // responses already streamed into the ring
+    }
+    case VReadOp::kClose: {
+      auto it = descriptors_.find(req.vfd);
+      if (it != descriptors_.end()) {
+        if (it->second.remote) {
+          // Tell the peer to drop its descriptor (small control message).
+          VReadDaemon* peer = it->second.peer;
+          const std::uint64_t peer_vfd = it->second.peer_vfd;
+          co_await host_.lan().transfer(host_.lan_id(), kCtrlBytes);
+          peer->control_->submit([peer, peer_vfd]() -> sim::Task {
+            peer->descriptors_.erase(peer_vfd);
+            co_return;
+          });
+        }
+        descriptors_.erase(it);
+      }
+      resp.status = 0;
+      break;
+    }
+    case VReadOp::kUpdate: {
+      if (local_mounts_.count(req.datanode_id) != 0) {
+        co_await local_refresh(port.tid, req.datanode_id);
+      } else if (auto it = remote_peers_.find(req.datanode_id);
+                 it != remote_peers_.end()) {
+        VReadDaemon* peer = it->second;
+        std::string dn = req.datanode_id;
+        co_await host_.lan().transfer(host_.lan_id(), kCtrlBytes);
+        // Named local: a lambda temporary inside a co_await full-expression
+        // trips a GCC 12 double-destruction bug (same below).
+        std::function<sim::Task(hw::ThreadId)> job =
+            [peer, dn](hw::ThreadId tid) -> sim::Task {
+          if (peer->local_mounts_.count(dn) != 0) co_await peer->local_refresh(tid, dn);
+        };
+        co_await peer->run_on_control(std::move(job));
+      }
+      resp.status = 0;
+      break;
+    }
+  }
+  co_await port.channel->respond(port.tid, std::move(resp), /*charge_copy=*/!zero_copy);
+}
+
+sim::Task VReadDaemon::local_open(hw::ThreadId tid, const std::string& dn_id,
+                                  const std::string& block_name, std::uint64_t& vfd,
+                                  std::int64_t& status) {
+  const hw::CostModel& cm = host_.costs();
+  co_await host_.cpu().consume(tid, cm.vread_open_daemon, CycleCategory::kOther);
+  const LocalMount& lm = local_mounts_.at(dn_id);
+  std::shared_ptr<fs::LoopMount> mount_ptr = lm.mount;
+  fs::LoopMount& mount = *mount_ptr;
+  const std::string path = lm.dir + "/" + block_name;
+  std::optional<fs::Inode> ino = mount.lookup(path);
+  if (!ino && mount.stale()) {
+    // The namenode-triggered refresh may still be queued; refreshing here
+    // mirrors the prototype re-reading the dentry cache on demand.
+    co_await local_refresh(tid, dn_id);
+    ino = mount.lookup(path);
+  }
+  if (!ino) {
+    status = kVReadErrNoBlock;
+    ++failed_opens_;
+    co_return;
+  }
+  vfd = next_vfd_++;
+  Descriptor d;
+  d.dn_id = dn_id;
+  d.block_name = block_name;
+  d.inode = *ino;
+  d.mount = std::move(mount_ptr);
+  descriptors_[vfd] = d;
+  status = 0;
+  ++opens_;
+}
+
+sim::Task VReadDaemon::readahead_task(std::shared_ptr<RaState> ra,
+                                      fs::DiskImagePtr image, std::uint64_t key,
+                                      std::uint64_t begin, std::uint64_t end) {
+  (void)image;
+  // The window lands incrementally so a waiter needing only the first
+  // pages resumes as soon as they arrive, not when the whole window does.
+  std::uint64_t pos = begin;
+  while (pos < end) {
+    const std::uint64_t n = std::min(kStreamChunk, end - pos);
+    const std::uint64_t missing = host_.page_cache().miss_bytes(key, pos, n);
+    if (missing > 0) co_await host_.disk().read(missing);
+    host_.page_cache().fill(key, pos, n);
+    pos += n;
+    ra->done = std::max(ra->done, pos);
+    ra->event.set();
+  }
+}
+
+sim::Task VReadDaemon::ensure_resident(hw::ThreadId tid, Descriptor& d,
+                                       std::uint64_t offset, std::uint64_t n) {
+  const hw::CostModel& cm = host_.costs();
+  const std::uint64_t key = cache_key(*d.mount->image(), d.inode.id);
+  if (!d.ra) d.ra = std::make_shared<RaState>(host_.sim());
+  RaState& ra = *d.ra;
+  const std::uint64_t end = offset + n;
+  const bool sequential = offset == d.seq_pos || end <= ra.done;
+
+  // Block-layer submit work for this request.
+  co_await host_.cpu().consume(tid, cm.blk_per_request + cm.blk_per_page * cm.pages(n),
+                               CycleCategory::kDiskRead);
+
+  if (sequential) {
+    // Wait for an in-flight readahead window that covers us.
+    while (end > ra.done && ra.inflight_end >= end) {
+      ra.event.reset();
+      co_await ra.event.wait();
+    }
+    if (end > ra.done) {
+      // Synchronous fill of request + readahead window.
+      const std::uint64_t window_end =
+          std::min(d.inode.size, offset + std::max(n, kReadahead));
+      const std::uint64_t missing =
+          host_.page_cache().miss_bytes(key, offset, window_end - offset);
+      if (missing > 0) co_await host_.disk().read(missing);
+      host_.page_cache().fill(key, offset, window_end - offset);
+      ra.done = std::max(ra.done, window_end);
+    }
+    // Kick the next async window when we are close to the edge.
+    if (ra.done < d.inode.size && ra.done - end < kReadahead / 2 &&
+        ra.inflight_end <= ra.done) {
+      const std::uint64_t ra_end = std::min(d.inode.size, ra.done + kReadahead);
+      ra.inflight_end = ra_end;
+      host_.sim().spawn(readahead_task(d.ra, d.mount->image(), key, ra.done, ra_end));
+    }
+  } else {
+    // Random access: fetch exactly what was asked for.
+    const std::uint64_t missing = host_.page_cache().miss_bytes(key, offset, n);
+    if (missing > 0) co_await host_.disk().read(missing);
+    host_.page_cache().fill(key, offset, n);
+  }
+  d.seq_pos = end;
+}
+
+sim::Task VReadDaemon::local_read(hw::ThreadId tid, Descriptor& d, std::uint64_t offset,
+                                  std::uint64_t len, mem::Buffer& out,
+                                  std::int64_t& status) {
+  const hw::CostModel& cm = host_.costs();
+  if (offset >= d.inode.size) {
+    // The snapshot inode is shorter than the reader expects (stale mount):
+    // force the client back to the vanilla path.
+    status = kVReadErrRange;
+    co_return;
+  }
+  const std::uint64_t n = std::min(len, d.inode.size - offset);
+
+  if (direct_read_) {
+    // §6 alternative: raw image access. Per-page address translation, and
+    // no host page cache — every byte comes off the device.
+    co_await host_.cpu().consume(
+        tid, cm.blk_per_request + cm.direct_translate_per_page * cm.pages(n),
+        CycleCategory::kLoopDevice);
+    co_await host_.disk().read(n);
+    co_await host_.cpu().consume(tid, cm.copy_cost(n), CycleCategory::kLoopDevice);
+  } else {
+    // Host file-system read through the loop device (with readahead).
+    co_await ensure_resident(tid, d, offset, n);
+    // Loop-device traversal + the page-cache -> daemon-buffer copy.
+    co_await host_.cpu().consume(tid, cm.loop_per_page * cm.pages(n) + cm.copy_cost(n),
+                                 CycleCategory::kLoopDevice);
+  }
+  out = d.mount->read(d.inode, offset, n);
+  status = static_cast<std::int64_t>(out.size());
+  ++reads_;
+  bytes_read_ += out.size();
+}
+
+sim::Task VReadDaemon::local_refresh(hw::ThreadId tid, const std::string& dn_id) {
+  const hw::CostModel& cm = host_.costs();
+  auto it = local_mounts_.find(dn_id);
+  if (it == local_mounts_.end()) co_return;
+  co_await host_.cpu().consume(tid, cm.mount_refresh, CycleCategory::kLoopDevice);
+  it->second.mount->refresh();
+  ++refreshes_;
+}
+
+sim::Task VReadDaemon::run_on_control(std::function<sim::Task(hw::ThreadId)> job) {
+  sim::Event done(host_.sim());
+  control_->submit([this, job = std::move(job), &done]() -> sim::Task {
+    co_await job(control_->tid());
+    done.set();
+  });
+  co_await done.wait();
+}
+
+sim::Task VReadDaemon::remote_open(hw::ThreadId tid, VReadDaemon* peer,
+                                   const std::string& dn_id,
+                                   const std::string& block_name,
+                                   std::uint64_t& peer_vfd, std::int64_t& status) {
+  const hw::CostModel& cm = host_.costs();
+  // Request out: one WR (RDMA) or one user-space TCP message.
+  if (transport_ == Transport::kRdma) {
+    co_await host_.cpu().consume(tid, cm.rdma_post_wr, CycleCategory::kRdma);
+  } else {
+    co_await host_.cpu().consume(tid, cm.vreadnet_per_segment, CycleCategory::kVreadNet);
+  }
+  co_await host_.lan().transfer(host_.lan_id(), kCtrlBytes);
+
+  std::uint64_t vfd_out = 0;
+  std::int64_t status_out = kVReadErrNoDatanode;
+  VReadDaemon* self = this;
+  std::function<sim::Task(hw::ThreadId)> open_job =
+      [peer, self, dn_id, block_name, &vfd_out, &status_out](hw::ThreadId ptid) -> sim::Task {
+    const hw::CostModel& pcm = peer->host_.costs();
+    if (self->transport_ == Transport::kRdma) {
+      co_await peer->host_.cpu().consume(ptid, pcm.rdma_cqe, CycleCategory::kRdma);
+    } else {
+      co_await peer->host_.cpu().consume(ptid, pcm.vreadnet_per_segment,
+                                         CycleCategory::kVreadNet);
+    }
+    if (peer->local_mounts_.count(dn_id) != 0) {
+      co_await peer->local_open(ptid, dn_id, block_name, vfd_out, status_out);
+    }
+  };
+  co_await peer->run_on_control(std::move(open_job));
+
+  // Response back over the wire.
+  co_await host_.lan().transfer(peer->host_.lan_id(), kCtrlBytes);
+  if (transport_ == Transport::kRdma) {
+    co_await host_.cpu().consume(tid, cm.rdma_cqe, CycleCategory::kRdma);
+  } else {
+    co_await host_.cpu().consume(tid, cm.vreadnet_per_segment, CycleCategory::kVreadNet);
+  }
+  peer_vfd = vfd_out;
+  status = status_out;
+}
+
+sim::Task VReadDaemon::stream_local_read(ClientPort& port, const virt::ShmRequest& req,
+                                         Descriptor& d) {
+  if (req.offset >= d.inode.size) {
+    // Snapshot shorter than the reader expects: fall back to vanilla.
+    co_await port.channel->respond_part(port.tid, req.id, kVReadErrRange, req.vfd,
+                                        mem::Buffer(), /*last=*/true);
+    co_return;
+  }
+  const std::uint64_t end = std::min(req.offset + req.len, d.inode.size);
+  std::uint64_t off = req.offset;
+  while (off < end) {
+    const std::uint64_t n = std::min(kStreamChunk, end - off);
+    mem::Buffer buf;
+    std::int64_t status = 0;
+    co_await local_read(port.tid, d, off, n, buf, status);
+    const bool last = off + n >= end;
+    co_await port.channel->respond_part(port.tid, req.id, status, req.vfd,
+                                        std::move(buf), last);
+    off += n;
+  }
+}
+
+namespace {
+// One in-flight payload piece of a daemon-to-daemon streamed read.
+struct RemoteChunk {
+  mem::Buffer data;
+  std::int64_t status = 0;
+  bool last = false;
+};
+
+// Wire hop for one chunk: the RoCE NIC DMAs the payload; arrival is
+// signalled through the receiving daemon's mailbox.
+sim::Task remote_wire_hop(hw::Lan* lan, hw::HostId src, std::uint64_t bytes,
+                          sim::Mailbox<RemoteChunk>* arrivals, RemoteChunk chunk) {
+  co_await lan->transfer(src, bytes);
+  arrivals->send(std::move(chunk));
+}
+}  // namespace
+
+sim::Task VReadDaemon::stream_remote_read(ClientPort& port, const virt::ShmRequest& req,
+                                          Descriptor& d) {
+  const hw::CostModel& cm = host_.costs();
+  VReadDaemon* peer = d.peer;
+  const std::uint64_t peer_vfd = d.peer_vfd;
+  const Transport transport = transport_;
+
+  // Request out: one WR / one user-space TCP message.
+  if (transport == Transport::kRdma) {
+    co_await host_.cpu().consume(port.tid, cm.rdma_post_wr, CycleCategory::kRdma);
+  } else {
+    co_await host_.cpu().consume(port.tid, cm.vreadnet_per_segment,
+                                 CycleCategory::kVreadNet);
+  }
+  co_await host_.lan().transfer(host_.lan_id(), kCtrlBytes);
+
+  // The peer's daemon streams packet-sized chunks: it reads chunk i+1 from
+  // its disk while chunk i is on the wire (active-push pipeline).
+  sim::Mailbox<RemoteChunk> arrivals(host_.sim());
+  const std::uint64_t offset = req.offset;
+  const std::uint64_t len = req.len;
+  sim::Simulation* sim = &host_.sim();
+  std::function<sim::Task(hw::ThreadId)> stream_job =
+      [peer, peer_vfd, offset, len, transport, &arrivals, sim](hw::ThreadId ptid)
+      -> sim::Task {
+    const hw::CostModel& pcm = peer->host_.costs();
+    auto it = peer->descriptors_.find(peer_vfd);
+    if (it == peer->descriptors_.end() || offset >= it->second.inode.size) {
+      arrivals.send(RemoteChunk{mem::Buffer(),
+                                it == peer->descriptors_.end() ? kVReadErrBadFd
+                                                               : kVReadErrRange,
+                                true});
+      co_return;
+    }
+    Descriptor& pd = it->second;
+    const std::uint64_t end = std::min(offset + len, pd.inode.size);
+    std::uint64_t off = offset;
+    while (off < end) {
+      const std::uint64_t n = std::min(kStreamChunk, end - off);
+      mem::Buffer buf;
+      std::int64_t status = 0;
+      co_await peer->local_read(ptid, pd, off, n, buf, status);
+      if (transport == Transport::kRdma) {
+        // Active push: the datanode-side daemon posts the RDMA write, so
+        // its verb cost is higher than the client side's (paper Fig. 7).
+        co_await peer->host_.cpu().consume(
+            ptid, pcm.rdma_post_wr + pcm.per_byte(n, pcm.rdma_cycles_per_byte),
+            CycleCategory::kRdma);
+      } else {
+        // User-space TCP: per-segment syscalls plus a send-side copy.
+        co_await peer->host_.cpu().consume(
+            ptid, pcm.vreadnet_per_segment * pcm.segments(n) + pcm.copy_cost(n),
+            CycleCategory::kVreadNet);
+      }
+      const bool last = off + n >= end;
+      // NIC DMA rides asynchronously; the next disk read overlaps it.
+      sim->spawn(remote_wire_hop(&peer->host_.lan(), peer->host_.lan_id(), n,
+                                 &arrivals, RemoteChunk{std::move(buf), status, last}));
+      off += n;
+    }
+  };
+  // Launch the peer-side streamer without waiting for it: chunks are
+  // consumed below as they arrive.
+  peer->control_->submit([peer, stream_job = std::move(stream_job)]() -> sim::Task {
+    co_await stream_job(peer->control_->tid());
+  });
+
+  for (;;) {
+    RemoteChunk chunk = co_await arrivals.recv();
+    if (chunk.status < 0) {
+      co_await port.channel->respond_part(port.tid, req.id, chunk.status, req.vfd,
+                                          mem::Buffer(), /*last=*/true);
+      co_return;
+    }
+    const std::uint64_t n = chunk.data.size();
+    bool zero_copy = false;
+    if (transport == Transport::kRdma) {
+      // One CQE; the payload already sits in the registered ring memory.
+      co_await host_.cpu().consume(port.tid, cm.rdma_cqe, CycleCategory::kRdma);
+      zero_copy = true;
+    } else {
+      co_await host_.cpu().consume(
+          port.tid, cm.vreadnet_per_segment * cm.segments(n) + cm.copy_cost(n),
+          CycleCategory::kVreadNet);
+    }
+    const bool last = chunk.last;
+    co_await port.channel->respond_part(port.tid, req.id, chunk.status, req.vfd,
+                                        std::move(chunk.data), last, !zero_copy);
+    if (last) break;
+  }
+  ++remote_reads_;
+}
+
+}  // namespace vread::core

@@ -1,0 +1,41 @@
+// Pluggable shortcut block-reader interface.
+//
+// This is the seam where vRead hooks into the HDFS client (the paper's
+// re-implemented DFSClient read interfaces): when a reader is installed,
+// DfsInputStream::read1/read2 try it first and fall back to the vanilla
+// socket path whenever a descriptor cannot be obtained (Algorithms 1-2).
+// The interface mirrors the libvread API of Table 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mem/buffer.h"
+#include "sim/task.h"
+
+namespace vread::hdfs {
+
+class BlockReader {
+ public:
+  virtual ~BlockReader() = default;
+
+  // vRead_open: obtains a descriptor for (block, datanode). `ok = false`
+  // means the shortcut is unavailable (unknown datanode, stale mount, ...)
+  // and the caller must fall back to the socket path.
+  virtual sim::Task open(const std::string& block_name, const std::string& datanode_id,
+                         std::uint64_t& vfd, bool& ok) = 0;
+
+  // vRead_read: reads up to `len` bytes at `offset` of the block file.
+  // `result` is the byte count (or -1 on error -> fall back).
+  virtual sim::Task read(std::uint64_t vfd, std::uint64_t offset, std::uint64_t len,
+                         mem::Buffer& out, std::int64_t& result) = 0;
+
+  // vRead_close: releases the descriptor.
+  virtual sim::Task close(std::uint64_t vfd) = 0;
+
+  // vRead_update: refreshes the daemon's view of a datanode's filesystem
+  // after a block create/delete/rename (called from the write path).
+  virtual sim::Task update(const std::string& datanode_id) = 0;
+};
+
+}  // namespace vread::hdfs

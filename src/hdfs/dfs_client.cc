@@ -1,0 +1,385 @@
+#include "hdfs/dfs_client.h"
+
+#include <algorithm>
+
+#include "hdfs/wire.h"
+
+namespace vread::hdfs {
+
+using hw::CycleCategory;
+using virt::TcpSocket;
+
+sim::Task DfsClient::write_block(const std::string& path,
+                                 std::vector<std::string> pipeline,
+                                 const mem::Buffer& data) {
+  const hw::CostModel& cm = vm_.host().costs();
+  co_await nn_.rpc_from(vm_);
+  BlockInfo& blk = nn_.add_block(path, pipeline);
+  const std::uint64_t block_id = blk.id;
+  const std::string block_name = blk.name;
+  const std::uint64_t n = data.size();
+
+  // Head-of-pipeline write: stream the block to the first datanode.
+  TcpSocket conn;
+  co_await net_.connect(vm_, pipeline.front(), DataNode::kPort, conn);
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(wire::Op::kWriteBlock));
+  w.str(block_name);
+  w.u64(n);
+  w.u16(static_cast<std::uint16_t>(pipeline.size() - 1));
+  for (std::size_t i = 1; i < pipeline.size(); ++i) w.str(pipeline[i]);
+  co_await send_frame(conn, w.take(), CycleCategory::kClientApp);
+
+  std::uint64_t sent = 0;
+  while (sent < n) {
+    const std::uint64_t chunk = std::min(DataNode::kPacketBytes, n - sent);
+    // Client-side packet assembly + checksum generation.
+    co_await vm_.run_vcpu(cm.per_byte(chunk, cm.client_hdfs_cycles_per_byte),
+                          CycleCategory::kClientApp);
+    co_await conn.send(data.slice(sent, chunk), CycleCategory::kClientApp);
+    sent += chunk;
+  }
+  mem::Buffer ack;
+  co_await recv_frame(conn, ack, CycleCategory::kClientApp);
+  conn.close();
+
+  co_await nn_.rpc_from(vm_);
+  nn_.complete_block(path, block_id, n);
+  // vRead_update at the end of the standard append path (paper §4): the
+  // daemon's mount of every replica holder is refreshed.
+  if (reader_ != nullptr) {
+    for (const std::string& dn : pipeline) co_await reader_->update(dn);
+  }
+}
+
+sim::Task DfsClient::write_file(const std::string& path, const mem::Buffer& data,
+                                Placement placement, std::uint64_t block_size) {
+  std::unique_ptr<DfsOutputStream> out;
+  co_await create(path, std::move(placement), block_size, out);
+  co_await out->write(data);
+  co_await out->close();
+}
+
+sim::Task DfsClient::create(const std::string& path, Placement placement,
+                            std::uint64_t block_size,
+                            std::unique_ptr<DfsOutputStream>& out) {
+  co_await nn_.rpc_from(vm_);
+  nn_.create_file(path, block_size);
+  out = std::make_unique<DfsOutputStream>(*this, path, std::move(placement), block_size);
+}
+
+DfsClient::Placement DfsClient::default_placement(int replication) {
+  DfsClient* self = this;
+  return [self, replication](std::uint64_t index) {
+    const std::vector<std::string>& dns = self->nn_.datanodes();
+    if (dns.empty()) throw HdfsError("no datanodes registered");
+    std::vector<std::string> pipeline;
+    // First replica: a datanode on this client's physical host if any.
+    std::size_t first = index % dns.size();
+    for (std::size_t i = 0; i < dns.size(); ++i) {
+      virt::Vm* dn_vm = self->net_.find_vm(dns[i]);
+      if (dn_vm != nullptr && &dn_vm->host() == &self->vm_.host()) {
+        first = i;
+        break;
+      }
+    }
+    pipeline.push_back(dns[first]);
+    // Remaining replicas rotate over the other datanodes.
+    for (std::size_t i = 1; pipeline.size() < static_cast<std::size_t>(replication) &&
+                            i <= dns.size();
+         ++i) {
+      const std::string& cand = dns[(first + i + index) % dns.size()];
+      bool dup = false;
+      for (const std::string& p : pipeline) dup |= (p == cand);
+      if (!dup) pipeline.push_back(cand);
+    }
+    return pipeline;
+  };
+}
+
+sim::Task DfsOutputStream::write(const mem::Buffer& data) {
+  if (closed_) throw HdfsError("write after close: " + path_);
+  pending_.append(data);
+  total_ += data.size();
+  while (pending_.size() >= block_size_) {
+    co_await client_.write_block(path_, placement_(block_index_++),
+                                 pending_.slice(0, block_size_));
+    pending_ = pending_.slice(block_size_, pending_.size() - block_size_);
+  }
+}
+
+sim::Task DfsOutputStream::close() {
+  if (closed_) co_return;
+  closed_ = true;
+  if (!pending_.empty()) {
+    co_await client_.write_block(path_, placement_(block_index_++), pending_);
+    pending_ = mem::Buffer();
+  }
+}
+
+sim::Task DfsClient::open(const std::string& path, std::unique_ptr<DfsInputStream>& out) {
+  co_await nn_.rpc_from(vm_);
+  std::vector<BlockInfo> blocks = nn_.get_block_locations(path, 0, nn_.file_size(path));
+  out = std::make_unique<DfsInputStream>(*this, path, std::move(blocks));
+}
+
+sim::Task DfsClient::remove(const std::string& path) {
+  co_await nn_.rpc_from(vm_);
+  // Collect replica holders before the metadata disappears.
+  std::vector<std::string> holders;
+  for (const BlockInfo& b : nn_.all_blocks(path)) {
+    for (const std::string& dn : b.locations) holders.push_back(dn);
+  }
+  nn_.remove_file(path);
+  if (reader_ != nullptr) {
+    for (const std::string& dn : holders) co_await reader_->update(dn);
+  }
+}
+
+const std::string& DfsClient::choose_replica(const BlockInfo& blk) const {
+  for (const std::string& dn : blk.locations) {
+    virt::Vm* dn_vm = const_cast<virt::VirtualNetwork&>(net_).find_vm(dn);
+    if (dn_vm != nullptr && &dn_vm->host() == &vm_.host()) return dn;
+  }
+  return blk.locations.front();
+}
+
+sim::Task DfsClient::fetch_block_range(const BlockInfo& blk,
+                                       const std::string& datanode_id,
+                                       std::uint64_t offset, std::uint64_t len,
+                                       mem::Buffer& out) {
+  const hw::CostModel& cm = vm_.host().costs();
+  // Reuse (or establish) the cached per-datanode connection; requests on
+  // it serialize.
+  CachedConn& cc = pread_conns_[datanode_id];
+  if (!cc.sock) {
+    cc.mutex = std::make_unique<sim::Semaphore>(vm_.host().sim(), 1);
+    co_await cc.mutex->acquire();
+    co_await net_.connect(vm_, datanode_id, DataNode::kPort, cc.sock);
+  } else {
+    co_await cc.mutex->acquire();
+  }
+  TcpSocket conn = cc.sock;
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(wire::Op::kReadBlock));
+  w.str(blk.name);
+  w.u64(offset);
+  w.u64(len);
+  co_await send_frame(conn, w.take(), CycleCategory::kClientApp);
+
+  mem::Buffer resp;
+  co_await recv_frame(conn, resp, CycleCategory::kClientApp);
+  wire::Reader r(resp);
+  const std::int64_t actual = r.i64();
+  if (actual < 0) {
+    cc.mutex->release();
+    throw HdfsError("datanode " + datanode_id + " missing " + blk.name);
+  }
+  co_await conn.recv_exact(static_cast<std::uint64_t>(actual), out,
+                           CycleCategory::kClientApp);
+  // Client-side stream processing + checksum verification.
+  co_await vm_.run_vcpu(
+      cm.per_byte(static_cast<std::uint64_t>(actual), cm.client_hdfs_cycles_per_byte),
+      CycleCategory::kClientApp);
+  cc.mutex->release();
+}
+
+DfsInputStream::DfsInputStream(DfsClient& client, std::string path,
+                               std::vector<BlockInfo> blocks)
+    : client_(client), path_(std::move(path)), blocks_(std::move(blocks)) {
+  for (const BlockInfo& b : blocks_) size_ += b.size;
+}
+
+const BlockInfo* DfsInputStream::block_at(std::uint64_t pos) const {
+  for (const BlockInfo& b : blocks_) {
+    if (pos >= b.offset_in_file && pos < b.offset_in_file + b.size) return &b;
+  }
+  return nullptr;
+}
+
+void DfsInputStream::seek(std::uint64_t pos) {
+  if (pos != pos_) drop_stream();
+  pos_ = pos;
+}
+
+void DfsInputStream::drop_stream() {
+  if (stream_.sock) {
+    stream_.sock.close();
+    stream_ = BlockStream{};
+  }
+}
+
+sim::Task DfsInputStream::read(std::uint64_t len, mem::Buffer& out) {
+  out = mem::Buffer();
+  while (out.size() < len && pos_ < size_) {
+    const BlockInfo* blk = block_at(pos_);
+    if (blk == nullptr) break;
+    const std::uint64_t off = pos_ - blk->offset_in_file;
+    const std::uint64_t n = std::min(len - out.size(), blk->size - off);
+    mem::Buffer part;
+    co_await read_block_range(*blk, off, n, part, /*sequential=*/true);
+    pos_ += part.size();
+    out.append(part);
+    if (part.size() < n) break;
+  }
+}
+
+sim::Task DfsInputStream::pread(std::uint64_t position, std::uint64_t len,
+                                mem::Buffer& out) {
+  // Algorithm 2: collect the blocks overlapping the range, then read them
+  // one by one (vRead descriptor if available, fetchBlocks otherwise).
+  out = mem::Buffer();
+  co_await client_.nn_.rpc_from(client_.vm());
+  std::vector<BlockInfo> range =
+      client_.nn_.get_block_locations(path_, position, len);
+  std::uint64_t remaining = len;
+  std::uint64_t pos = position;
+  for (const BlockInfo& blk : range) {
+    if (remaining == 0) break;
+    const std::uint64_t start = pos - blk.offset_in_file;
+    const std::uint64_t bytes_to_read = std::min(remaining, blk.size - start);
+    mem::Buffer part;
+    co_await read_block_range(blk, start, bytes_to_read, part, /*sequential=*/false);
+    out.append(part);
+    remaining -= bytes_to_read;
+    pos += bytes_to_read;
+  }
+}
+
+sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t off,
+                                           std::uint64_t len, mem::Buffer& out,
+                                           bool sequential) {
+  DfsClient& c = client_;
+  const std::string& dn = c.choose_replica(blk);
+
+  // HDFS Short-Circuit Local Read: replica in this very VM -> read the
+  // block file straight off the local filesystem.
+  if (c.short_circuit_) {
+    for (const std::string& loc : blk.locations) {
+      if (loc == c.vm().name()) {
+        auto ino = c.vm().fs().lookup(DataNode::block_path(blk.name));
+        if (ino.has_value()) {
+          co_await c.vm().fs_read(*ino, off, len, out, CycleCategory::kClientApp);
+          // Lean client-side processing: no protocol, just stream plumbing.
+          co_await c.vm().run_vcpu(
+              c.vm().host().costs().per_byte(
+                  out.size(), c.vm().host().costs().client_hdfs_vread_cycles_per_byte),
+              CycleCategory::kClientApp);
+          co_return;
+        }
+        break;  // registered here but file missing: fall through to sockets
+      }
+    }
+  }
+
+  BlockReader* reader = c.reader_;
+  std::uint64_t vfd = 0;
+  bool have_vfd = false;
+
+  if (reader != nullptr) {
+    auto it = c.vfd_hash_.find(blk.name);
+    if (it == c.vfd_hash_.end()) {
+      bool ok = false;
+      co_await reader->open(blk.name, dn, vfd, ok);
+      if (ok) {
+        c.vfd_hash_.emplace(blk.name, vfd);
+        have_vfd = true;
+      }
+    } else {
+      vfd = it->second;
+      have_vfd = true;
+    }
+  }
+
+  if (have_vfd) {
+    std::int64_t result = -1;
+    co_await reader->read(vfd, off, len, out, result);
+    if (result >= 0) {
+      // Lean vRead-side client processing (no protocol framing/checksums).
+      const hw::CostModel& cm = c.vm().host().costs();
+      co_await c.vm().run_vcpu(
+          cm.per_byte(out.size(), cm.client_hdfs_vread_cycles_per_byte),
+          CycleCategory::kClientApp);
+      if (off + static_cast<std::uint64_t>(result) >= blk.size) {
+        // Block fully consumed: vRead_close + hash removal (Algorithm 1).
+        co_await reader->close(vfd);
+        c.vfd_hash_.erase(blk.name);
+      }
+      co_return;
+    }
+    // Shortcut failed mid-flight: drop the descriptor and fall through.
+    co_await reader->close(vfd);
+    c.vfd_hash_.erase(blk.name);
+  }
+
+  // Original HDFS method, with replica failover: try the preferred
+  // (co-located) replica first, then the others.
+  std::vector<std::string> candidates{dn};
+  for (const std::string& loc : blk.locations) {
+    if (loc != dn) candidates.push_back(loc);
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    try {
+      if (sequential) {
+        co_await read_from_stream(blk, candidates[i], off, len, out);
+      } else {
+        co_await c.fetch_block_range(blk, candidates[i], off, len, out);
+      }
+      co_return;
+    } catch (const HdfsError&) {
+      drop_stream();
+      if (i + 1 == candidates.size()) throw;
+    }
+  }
+}
+
+sim::Task DfsInputStream::read_from_stream(const BlockInfo& blk, const std::string& dn,
+                                           std::uint64_t off, std::uint64_t len,
+                                           mem::Buffer& out) {
+  DfsClient& c = client_;
+  const hw::CostModel& cm = c.vm().host().costs();
+  // (Re)open the block stream when absent or not positioned at `off`.
+  if (!stream_.sock || stream_.block_id != blk.id || stream_.next_offset != off) {
+    drop_stream();
+    TcpSocket conn;
+    co_await c.net_.connect(c.vm(), dn, DataNode::kPort, conn);
+    wire::Writer w;
+    w.u8(static_cast<std::uint8_t>(wire::Op::kReadBlock));
+    w.str(blk.name);
+    w.u64(off);
+    w.u64(blk.size - off);  // stream the rest of the block
+    co_await send_frame(conn, w.take(), CycleCategory::kClientApp);
+    mem::Buffer resp;
+    co_await recv_frame(conn, resp, CycleCategory::kClientApp);
+    wire::Reader r(resp);
+    const std::int64_t actual = r.i64();
+    if (actual < 0) throw HdfsError("datanode missing block " + blk.name);
+    stream_.sock = conn;
+    stream_.block_id = blk.id;
+    stream_.next_offset = off;
+    stream_.end_offset = off + static_cast<std::uint64_t>(actual);
+  }
+  const std::uint64_t n = std::min(len, stream_.end_offset - stream_.next_offset);
+  co_await stream_.sock.recv_exact(n, out, CycleCategory::kClientApp);
+  co_await c.vm().run_vcpu(cm.per_byte(n, cm.client_hdfs_cycles_per_byte),
+                           CycleCategory::kClientApp);
+  stream_.next_offset += n;
+  if (stream_.next_offset >= stream_.end_offset) drop_stream();
+}
+
+sim::Task DfsInputStream::close() {
+  drop_stream();
+  DfsClient& c = client_;
+  if (c.reader_ != nullptr) {
+    // Release any descriptors still cached for this file's blocks.
+    for (const BlockInfo& blk : blocks_) {
+      auto it = c.vfd_hash_.find(blk.name);
+      if (it != c.vfd_hash_.end()) {
+        co_await c.reader_->close(it->second);
+        c.vfd_hash_.erase(it);
+      }
+    }
+  }
+}
+
+}  // namespace vread::hdfs

@@ -1,0 +1,207 @@
+// HDFS client: DFSClient + DFSInputStream with the paper's read interfaces.
+//
+// `read1` (sequential read of the current block, requests smaller than one
+// block) and `read2` (positional read that may span blocks) follow the
+// pseudo-code of Algorithms 1 and 2 exactly: look up a vRead descriptor in
+// the client-library hash, vRead_open on miss, vRead_read when a valid
+// descriptor exists, otherwise the original socket path (`read_buffer` /
+// `fetchBlocks`), and vRead_close when a block is fully consumed.
+//
+// Replica selection prefers a datanode co-located on the client's physical
+// host (the HVE-style topology awareness the paper assumes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hdfs/block_reader.h"
+#include "hdfs/datanode.h"
+#include "hdfs/namenode.h"
+#include "mem/buffer.h"
+#include "virt/vm.h"
+#include "virt/vnet.h"
+
+namespace vread::hdfs {
+
+class DfsInputStream;
+class DfsOutputStream;
+
+class DfsClient {
+ public:
+  // Placement policy: datanode ids (pipeline order) for block `index`.
+  using Placement = std::function<std::vector<std::string>(std::uint64_t index)>;
+
+  DfsClient(virt::Vm& vm, NameNode& nn, virt::VirtualNetwork& net)
+      : vm_(vm), nn_(nn), net_(net) {}
+  DfsClient(const DfsClient&) = delete;
+  DfsClient& operator=(const DfsClient&) = delete;
+
+  // Installs the vRead shortcut (nullptr reverts to vanilla HDFS).
+  void set_block_reader(BlockReader* reader) { reader_ = reader; }
+  BlockReader* block_reader() { return reader_; }
+
+  // HDFS Short-Circuit Local Reads (HDFS-2246/HDFS-347, the paper's §2.2
+  // first alternative): when the client process runs in the SAME OS as the
+  // datanode, read the block file directly from the local filesystem,
+  // bypassing the datanode process and the socket. Only applies to blocks
+  // whose replica lives in this client's own VM — which is precisely why
+  // the paper rejects it for virtual Hadoop (separated client/datanode VMs
+  // never qualify, and packing them into one VM penalizes everything else).
+  void set_short_circuit(bool on) { short_circuit_ = on; }
+  bool short_circuit() const { return short_circuit_; }
+
+  virt::Vm& vm() { return vm_; }
+  NameNode& namenode() { return nn_; }
+  virt::VirtualNetwork& net() { return net_; }
+
+  // Writes `data` as a new HDFS file, streaming block-sized chunks through
+  // the replication pipeline chosen by `placement`.
+  sim::Task write_file(const std::string& path, const mem::Buffer& data,
+                       Placement placement, std::uint64_t block_size = kDefaultBlockSize);
+
+  // Creates a file for streaming writes (the DFSOutputStream path): data
+  // is buffered and flushed block-by-block through the replication
+  // pipeline; close() finalizes the last partial block.
+  sim::Task create(const std::string& path, Placement placement,
+                   std::uint64_t block_size, std::unique_ptr<DfsOutputStream>& out);
+
+  // Default block placement (HDFS rack/host awareness, HVE-style): first
+  // replica on a datanode co-located with this client's physical host when
+  // one exists, remaining replicas rotating over the other datanodes.
+  Placement default_placement(int replication = 1);
+
+  // Opens a file for reading; blocks metadata is fetched from the namenode.
+  sim::Task open(const std::string& path, std::unique_ptr<DfsInputStream>& out);
+
+  // Deletes a file: namenode metadata goes away immediately (readers get
+  // HdfsError), block files are garbage-collected lazily by datanodes, and
+  // the delete events refresh every vRead mount (paper §3.2: "the same
+  // thing happens for a block delete or rename").
+  sim::Task remove(const std::string& path);
+
+  // Picks the replica to read: co-located datanode VM first, else the
+  // first location.
+  const std::string& choose_replica(const BlockInfo& blk) const;
+
+  // Vanilla path: one-shot block-range fetch over a fresh connection
+  // (Algorithm 2's fetchBlocks).
+  sim::Task fetch_block_range(const BlockInfo& blk, const std::string& datanode_id,
+                              std::uint64_t offset, std::uint64_t len, mem::Buffer& out);
+
+ private:
+  friend class DfsInputStream;
+  friend class DfsOutputStream;
+
+  // Streams one finalized block through the replication pipeline and
+  // registers it with the namenode (+ vRead_update for every replica).
+  sim::Task write_block(const std::string& path, std::vector<std::string> pipeline,
+                        const mem::Buffer& data);
+
+  // The libvread descriptor hash (block name -> vfd), shared by all
+  // streams of this client as in the prototype's user-level library.
+  std::unordered_map<std::string, std::uint64_t> vfd_hash_;
+
+  // Cached datanode connections for positional reads (one per datanode,
+  // serialized: the data-transfer protocol is one request at a time).
+  struct CachedConn {
+    virt::TcpSocket sock;
+    std::unique_ptr<sim::Semaphore> mutex;
+  };
+  std::unordered_map<std::string, CachedConn> pread_conns_;
+
+  virt::Vm& vm_;
+  NameNode& nn_;
+  virt::VirtualNetwork& net_;
+  BlockReader* reader_ = nullptr;
+  bool short_circuit_ = false;
+};
+
+// Streaming writer for one HDFS file (the paper's DFSOutputStream, whose
+// append path fires vRead_update on every completed block).
+class DfsOutputStream {
+ public:
+  DfsOutputStream(DfsClient& client, std::string path, DfsClient::Placement placement,
+                  std::uint64_t block_size)
+      : client_(client),
+        path_(std::move(path)),
+        placement_(std::move(placement)),
+        block_size_(block_size) {}
+
+  // Appends `data`; full blocks flush through the pipeline as they fill.
+  sim::Task write(const mem::Buffer& data);
+
+  // Flushes the final partial block. Must be called exactly once.
+  sim::Task close();
+
+  std::uint64_t bytes_written() const { return total_; }
+  bool closed() const { return closed_; }
+
+ private:
+  DfsClient& client_;
+  std::string path_;
+  DfsClient::Placement placement_;
+  std::uint64_t block_size_;
+  std::uint64_t block_index_ = 0;
+  std::uint64_t total_ = 0;
+  mem::Buffer pending_;
+  bool closed_ = false;
+};
+
+// Sequential/positional reader over one HDFS file.
+class DfsInputStream {
+ public:
+  DfsInputStream(DfsClient& client, std::string path, std::vector<BlockInfo> blocks);
+
+  // read1: reads up to `len` bytes at the current position (may span block
+  // boundaries by looping). `out` is empty at EOF.
+  sim::Task read(std::uint64_t len, mem::Buffer& out);
+
+  // read2: positional read (does not move the stream position).
+  sim::Task pread(std::uint64_t position, std::uint64_t len, mem::Buffer& out);
+
+  void seek(std::uint64_t pos);
+  sim::Task skip(std::uint64_t n) {
+    seek(pos_ + n);
+    co_return;
+  }
+  std::uint64_t tell() const { return pos_; }
+  std::uint64_t size() const { return size_; }
+
+  // Closes any open block stream and vRead descriptors.
+  sim::Task close();
+
+ private:
+  struct BlockStream {
+    virt::TcpSocket sock;
+    std::uint64_t block_id = 0;
+    std::uint64_t next_offset = 0;  // next byte (in-block) the stream yields
+    std::uint64_t end_offset = 0;
+  };
+
+  const BlockInfo* block_at(std::uint64_t pos) const;
+
+  // Reads [off, off+len) of one block into `out` per Algorithm 1/2:
+  // vRead first (descriptor hash), else socket.
+  sim::Task read_block_range(const BlockInfo& blk, std::uint64_t off, std::uint64_t len,
+                             mem::Buffer& out, bool sequential);
+
+  // Vanilla sequential path: keeps a block stream open and consumes it.
+  // Reads from replica `dn`; throws HdfsError if that replica lacks the
+  // block (the caller fails over).
+  sim::Task read_from_stream(const BlockInfo& blk, const std::string& dn,
+                             std::uint64_t off, std::uint64_t len, mem::Buffer& out);
+  void drop_stream();
+
+  DfsClient& client_;
+  std::string path_;
+  std::vector<BlockInfo> blocks_;
+  std::uint64_t size_ = 0;
+  std::uint64_t pos_ = 0;
+  BlockStream stream_;
+};
+
+}  // namespace vread::hdfs

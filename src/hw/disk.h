@@ -1,0 +1,80 @@
+// Physical disk (SSD) timing model.
+//
+// FIFO service: each request costs a fixed access latency plus transfer
+// time at the device bandwidth; requests serialize on the device. The
+// *CPU* side of a disk access (block layer, virtio-blk) is charged by the
+// caller via the cost model — this class models device time only.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace vread::hw {
+
+class Disk {
+ public:
+  struct Config {
+    double read_bw_mbps = 190.0;   // effective sequential read (image file path)
+    double write_bw_mbps = 320.0;  // SSD-class sequential write
+    sim::SimTime read_latency = sim::us(150);
+    sim::SimTime write_latency = sim::us(60);
+  };
+
+  Disk(sim::Simulation& sim, Config config) : sim_(sim), config_(config) {}
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  struct IoAwaiter {
+    Disk& disk;
+    std::uint64_t bytes;
+    bool is_write;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim::SimTime completion = disk.schedule(bytes, is_write);
+      disk.sim_.resume_at(completion, h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  // Awaitable device-time read/write of `bytes`.
+  IoAwaiter read(std::uint64_t bytes) {
+    bytes_read_ += bytes;
+    ++reads_;
+    return IoAwaiter{*this, bytes, false};
+  }
+  IoAwaiter write(std::uint64_t bytes) {
+    bytes_written_ += bytes;
+    ++writes_;
+    return IoAwaiter{*this, bytes, true};
+  }
+
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t read_count() const { return reads_; }
+  std::uint64_t write_count() const { return writes_; }
+  const Config& config() const { return config_; }
+
+ private:
+  sim::SimTime schedule(std::uint64_t bytes, bool is_write) {
+    const double bw = (is_write ? config_.write_bw_mbps : config_.read_bw_mbps) * 1e6;
+    const sim::SimTime latency = is_write ? config_.write_latency : config_.read_latency;
+    const sim::SimTime xfer =
+        static_cast<sim::SimTime>(static_cast<double>(bytes) / bw * 1e9);
+    sim::SimTime start = std::max(sim_.now(), next_free_);
+    sim::SimTime completion = start + latency + xfer;
+    next_free_ = completion;
+    return completion;
+  }
+
+  sim::Simulation& sim_;
+  Config config_;
+  sim::SimTime next_free_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace vread::hw

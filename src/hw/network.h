@@ -1,0 +1,118 @@
+// Physical network: per-host NIC serialization plus a switched LAN.
+//
+// Timing only — CPU costs of network processing are charged by the software
+// layers (guest TCP, vhost-net, host kernel, RDMA verbs) via the cost
+// model. The testbed's 10 Gbps LAN is the default. RoCE traffic shares the
+// same NIC/wire as TCP (converged Ethernet), so both go through the same
+// link objects.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace vread::hw {
+
+using HostId = std::uint32_t;
+
+// One direction of a host NIC: transfers serialize at wire bandwidth, then
+// arrive after the propagation delay.
+class NetworkLink {
+ public:
+  struct Config {
+    double bw_gbps = 10.0;
+    sim::SimTime propagation = sim::us(30);  // switch + cable + NIC latency
+  };
+
+  NetworkLink(sim::Simulation& sim, Config config) : sim_(sim), config_(config) {}
+  NetworkLink(const NetworkLink&) = delete;
+  NetworkLink& operator=(const NetworkLink&) = delete;
+
+  struct TransferAwaiter {
+    NetworkLink& link;
+    std::uint64_t bytes;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      link.sim_.resume_at(link.schedule(bytes), h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  // Awaitable: completes when the last byte arrives at the receiver.
+  TransferAwaiter transfer(std::uint64_t bytes) {
+    bytes_sent_ += bytes;
+    return TransferAwaiter{*this, bytes};
+  }
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  sim::SimTime schedule(std::uint64_t bytes) {
+    const double bw = config_.bw_gbps * 1e9 / 8.0;  // bytes per second
+    const sim::SimTime xfer =
+        static_cast<sim::SimTime>(static_cast<double>(bytes) / bw * 1e9);
+    sim::SimTime depart = std::max(sim_.now(), next_free_) + xfer;
+    next_free_ = depart;
+    return depart + config_.propagation;
+  }
+
+  sim::Simulation& sim_;
+  Config config_;
+  sim::SimTime next_free_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+// Switched LAN: each host gets one egress link; sending serializes on the
+// sender's NIC (full-duplex switch fabric assumed non-blocking).
+class Lan {
+ public:
+  Lan(sim::Simulation& sim, NetworkLink::Config link_config = {})
+      : sim_(sim), link_config_(link_config) {}
+
+  HostId add_host() {
+    links_.push_back(std::make_unique<NetworkLink>(sim_, link_config_));
+    return static_cast<HostId>(links_.size() - 1);
+  }
+
+  // Awaitable transfer from `src`'s NIC to any destination host.
+  NetworkLink::TransferAwaiter transfer(HostId src, std::uint64_t bytes) {
+    return links_[src]->transfer(bytes);
+  }
+
+  NetworkLink& egress(HostId host) { return *links_[host]; }
+  std::size_t host_count() const { return links_.size(); }
+
+ private:
+  sim::Simulation& sim_;
+  NetworkLink::Config link_config_;
+  std::vector<std::unique_ptr<NetworkLink>> links_;
+};
+
+// RDMA-capable NIC view over the converged-Ethernet LAN: RoCE payloads ride
+// the same wire; the zero-copy property is expressed by the *callers*
+// charging only tiny per-WR CPU costs (cost_model.rdma_*) instead of
+// per-segment TCP stack work.
+class RdmaNic {
+ public:
+  RdmaNic(Lan& lan, HostId host) : lan_(lan), host_(host) {}
+
+  // Awaitable one-sided write/send of `bytes` to a peer host: wire time
+  // only; the NIC DMAs payload without CPU involvement.
+  NetworkLink::TransferAwaiter post_write(std::uint64_t bytes) {
+    ++work_requests_;
+    return lan_.transfer(host_, bytes);
+  }
+
+  std::uint64_t work_requests() const { return work_requests_; }
+  HostId host() const { return host_; }
+
+ private:
+  Lan& lan_;
+  HostId host_;
+  std::uint64_t work_requests_ = 0;
+};
+
+}  // namespace vread::hw

@@ -1,0 +1,77 @@
+// Owning byte buffer with deterministic payload generation and checksums.
+//
+// Real bytes flow through every simulated data path (virtio rings, TCP
+// streams, the vRead shared-memory ring, RDMA transfers), so the integrity
+// property suite can assert byte-identical delivery on all of them.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace vread::mem {
+
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::size_t size) : data_(size, 0) {}
+  explicit Buffer(std::vector<std::uint8_t> data) : data_(std::move(data)) {}
+  Buffer(const std::uint8_t* p, std::size_t n) : data_(p, p + n) {}
+
+  // Deterministic pseudo-random content: byte i of stream `seed` is a pure
+  // function of (seed, absolute_offset + i), so any sub-range of a file can
+  // be regenerated and verified independently.
+  static Buffer deterministic(std::uint64_t seed, std::uint64_t absolute_offset,
+                              std::size_t size) {
+    Buffer b(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      b.data_[i] = byte_at(seed, absolute_offset + i);
+    }
+    return b;
+  }
+
+  static std::uint8_t byte_at(std::uint64_t seed, std::uint64_t offset) {
+    std::uint64_t z = seed + offset * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::uint8_t>(z ^ (z >> 31));
+  }
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  std::uint8_t* data() { return data_.data(); }
+  const std::uint8_t* data() const { return data_.data(); }
+  std::uint8_t& operator[](std::size_t i) { return data_[i]; }
+  std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+
+  void append(const Buffer& other) {
+    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  }
+  void append(const std::uint8_t* p, std::size_t n) { data_.insert(data_.end(), p, p + n); }
+
+  Buffer slice(std::size_t offset, std::size_t len) const {
+    return Buffer(data_.data() + offset, len);
+  }
+
+  void resize(std::size_t n) { data_.resize(n, 0); }
+
+  // FNV-1a 64-bit over the whole buffer.
+  std::uint64_t checksum() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint8_t b : data_) {
+      h ^= b;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+  bool operator==(const Buffer& other) const { return data_ == other.data_; }
+
+  const std::vector<std::uint8_t>& bytes() const { return data_; }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace vread::mem

@@ -1,0 +1,122 @@
+// LRU page cache (guest kernel buffer cache / host file-system cache).
+//
+// Tracks *which* 4 KB pages of which object (inode, disk image, ...) are
+// resident; content always comes from the authoritative store (coherent for
+// HDFS's write-once blocks). Read paths consult the cache to decide how
+// many bytes must go to the disk model; hits cost only the copy cycles.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace vread::mem {
+
+class PageCache {
+ public:
+  static constexpr std::uint64_t kPageSize = 4096;
+
+  // capacity_bytes rounded down to whole pages; 0 disables caching entirely.
+  explicit PageCache(std::uint64_t capacity_bytes)
+      : capacity_pages_(capacity_bytes / kPageSize) {}
+
+  struct Key {
+    std::uint64_t object;
+    std::uint64_t page;
+    bool operator==(const Key& o) const { return object == o.object && page == o.page; }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>()(k.object * 0x9e3779b97f4a7c15ULL ^ k.page);
+    }
+  };
+
+  bool contains(std::uint64_t object, std::uint64_t page) const {
+    return map_.count(Key{object, page}) != 0;
+  }
+
+  // Marks a page resident (inserting or refreshing LRU position).
+  void insert(std::uint64_t object, std::uint64_t page) {
+    if (capacity_pages_ == 0) return;
+    Key k{object, page};
+    auto it = map_.find(k);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.push_front(k);
+    map_[k] = lru_.begin();
+    if (map_.size() > capacity_pages_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  // Byte count of [offset, offset+len) NOT resident; resident pages get
+  // their LRU position refreshed (this models the read access).
+  std::uint64_t miss_bytes(std::uint64_t object, std::uint64_t offset, std::uint64_t len) {
+    if (len == 0) return 0;
+    if (capacity_pages_ == 0) return len;
+    std::uint64_t missing = 0;
+    const std::uint64_t first = offset / kPageSize;
+    const std::uint64_t last = (offset + len - 1) / kPageSize;
+    for (std::uint64_t p = first; p <= last; ++p) {
+      const std::uint64_t page_begin = p * kPageSize;
+      const std::uint64_t page_end = page_begin + kPageSize;
+      const std::uint64_t lo = std::max(offset, page_begin);
+      const std::uint64_t hi = std::min(offset + len, page_end);
+      auto it = map_.find(Key{object, p});
+      if (it == map_.end()) {
+        missing += hi - lo;
+        ++misses_;
+      } else {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++hits_;
+      }
+    }
+    return missing;
+  }
+
+  // Marks every page of [offset, offset+len) resident (post-read fill or
+  // write-through population).
+  void fill(std::uint64_t object, std::uint64_t offset, std::uint64_t len) {
+    if (len == 0 || capacity_pages_ == 0) return;
+    const std::uint64_t first = offset / kPageSize;
+    const std::uint64_t last = (offset + len - 1) / kPageSize;
+    for (std::uint64_t p = first; p <= last; ++p) insert(object, p);
+  }
+
+  // Drops every resident page of an object (e.g. "clear the disk memory
+  // buffer" in the paper's cold-read experiments).
+  void invalidate_object(std::uint64_t object) {
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->object == object) {
+        map_.erase(*it);
+        it = lru_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void clear() {
+    map_.clear();
+    lru_.clear();
+  }
+
+  std::size_t resident_pages() const { return map_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  std::uint64_t capacity_pages_;
+  std::list<Key> lru_;
+  std::unordered_map<Key, std::list<Key>::iterator, KeyHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace vread::mem

@@ -1,0 +1,99 @@
+#include "metrics/accounting.h"
+
+namespace vread::metrics {
+
+ThreadId CycleAccounting::register_thread(std::string name, std::string group) {
+  threads_.push_back(ThreadRecord{std::move(name), std::move(group), {}, 0});
+  return static_cast<ThreadId>(threads_.size() - 1);
+}
+
+void CycleAccounting::charge(ThreadId tid, CycleCategory cat, sim::Cycles cycles) {
+  threads_[tid].cycles[static_cast<std::size_t>(cat)] += cycles;
+}
+
+void CycleAccounting::note_busy(ThreadId tid, sim::SimTime busy) {
+  threads_[tid].busy += busy;
+}
+
+sim::Cycles CycleAccounting::thread_total(ThreadId tid) const {
+  sim::Cycles sum = 0;
+  for (sim::Cycles c : threads_[tid].cycles) sum += c;
+  return sum;
+}
+
+sim::Cycles CycleAccounting::group_total(const std::string& group) const {
+  sim::Cycles sum = 0;
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    if (threads_[i].group == group) sum += thread_total(static_cast<ThreadId>(i));
+  }
+  return sum;
+}
+
+sim::Cycles CycleAccounting::group_total(const std::string& group, CycleCategory cat) const {
+  sim::Cycles sum = 0;
+  for (const ThreadRecord& t : threads_) {
+    if (t.group == group) sum += t.cycles[static_cast<std::size_t>(cat)];
+  }
+  return sum;
+}
+
+sim::SimTime CycleAccounting::group_busy_time(const std::string& group) const {
+  sim::SimTime sum = 0;
+  for (const ThreadRecord& t : threads_) {
+    if (t.group == group) sum += t.busy;
+  }
+  return sum;
+}
+
+CycleAccounting::Snapshot CycleAccounting::snapshot() const {
+  Snapshot s;
+  s.cycles.reserve(threads_.size());
+  s.busy.reserve(threads_.size());
+  for (const ThreadRecord& t : threads_) {
+    s.cycles.push_back(t.cycles);
+    s.busy.push_back(t.busy);
+  }
+  return s;
+}
+
+sim::Cycles CycleAccounting::group_total_since(const Snapshot& since,
+                                               const std::string& group,
+                                               CycleCategory cat) const {
+  sim::Cycles sum = 0;
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    if (threads_[i].group != group) continue;
+    sim::Cycles base =
+        i < since.cycles.size() ? since.cycles[i][static_cast<std::size_t>(cat)] : 0;
+    sum += threads_[i].cycles[static_cast<std::size_t>(cat)] - base;
+  }
+  return sum;
+}
+
+sim::Cycles CycleAccounting::group_total_since(const Snapshot& since,
+                                               const std::string& group) const {
+  sim::Cycles sum = 0;
+  for (std::uint8_t c = 0; c < kNumCategories; ++c) {
+    sum += group_total_since(since, group, static_cast<CycleCategory>(c));
+  }
+  return sum;
+}
+
+sim::SimTime CycleAccounting::group_busy_since(const Snapshot& since,
+                                               const std::string& group) const {
+  sim::SimTime sum = 0;
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    if (threads_[i].group != group) continue;
+    sim::SimTime base = i < since.busy.size() ? since.busy[i] : 0;
+    sum += threads_[i].busy - base;
+  }
+  return sum;
+}
+
+void CycleAccounting::reset() {
+  for (ThreadRecord& t : threads_) {
+    t.cycles.fill(0);
+    t.busy = 0;
+  }
+}
+
+}  // namespace vread::metrics

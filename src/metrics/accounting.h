@@ -1,0 +1,69 @@
+// Per-thread, per-category CPU cycle accounting.
+//
+// The CpuScheduler owns thread identities; this registry owns the numbers.
+// Threads are grouped (group = VM name or "host:<name>") so benches can
+// report per-VM or per-host breakdowns. Snapshots support measuring deltas
+// over a benchmark window.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/categories.h"
+#include "sim/time.h"
+
+namespace vread::metrics {
+
+using ThreadId = std::uint32_t;
+
+class CycleAccounting {
+ public:
+  ThreadId register_thread(std::string name, std::string group);
+
+  void charge(ThreadId tid, CycleCategory cat, sim::Cycles cycles);
+  void note_busy(ThreadId tid, sim::SimTime busy);
+
+  const std::string& thread_name(ThreadId tid) const { return threads_[tid].name; }
+  const std::string& thread_group(ThreadId tid) const { return threads_[tid].group; }
+  std::size_t thread_count() const { return threads_.size(); }
+
+  sim::Cycles thread_total(ThreadId tid) const;
+  sim::Cycles thread_total(ThreadId tid, CycleCategory cat) const {
+    return threads_[tid].cycles[static_cast<std::size_t>(cat)];
+  }
+  sim::SimTime thread_busy_time(ThreadId tid) const { return threads_[tid].busy; }
+
+  // Sum over all threads whose group matches exactly.
+  sim::Cycles group_total(const std::string& group) const;
+  sim::Cycles group_total(const std::string& group, CycleCategory cat) const;
+  sim::SimTime group_busy_time(const std::string& group) const;
+
+  // Point-in-time copy of every counter, usable for window deltas.
+  struct Snapshot {
+    std::vector<std::array<sim::Cycles, kNumCategories>> cycles;
+    std::vector<sim::SimTime> busy;
+  };
+  Snapshot snapshot() const;
+
+  // Counters accumulated since `since` (threads registered after the
+  // snapshot count from zero).
+  sim::Cycles group_total_since(const Snapshot& since, const std::string& group,
+                                CycleCategory cat) const;
+  sim::Cycles group_total_since(const Snapshot& since, const std::string& group) const;
+  sim::SimTime group_busy_since(const Snapshot& since, const std::string& group) const;
+
+  void reset();
+
+ private:
+  struct ThreadRecord {
+    std::string name;
+    std::string group;
+    std::array<sim::Cycles, kNumCategories> cycles{};
+    sim::SimTime busy = 0;
+  };
+  std::vector<ThreadRecord> threads_;
+};
+
+}  // namespace vread::metrics

@@ -1,0 +1,62 @@
+// CPU-cycle cost categories.
+//
+// Every cycle consumed on the simulated CpuScheduler is tagged with one of
+// these categories; the Fig. 6/7/8 benches aggregate them into the stacked
+// per-VM utilization breakdowns the paper reports (client-application,
+// "data copy(virtio-vqueue)", "data copy(vRead-buffer)", vhost-net, loop
+// device, disk read, rdma, vRead-net, others).
+#pragma once
+
+#include <cstdint>
+
+namespace vread::metrics {
+
+enum class CycleCategory : std::uint8_t {
+  kClientApp = 0,    // HDFS client / application compute (incl. app-buffer copy)
+  kDatanodeApp,      // HDFS datanode process compute
+  kGuestNetTx,       // guest kernel TCP/IP transmit processing
+  kGuestNetRx,       // guest kernel TCP/IP receive processing
+  kVirtioCopy,       // data copies through virtio vqueues (blk and net)
+  kVhostNet,         // host-side vhost-net processing + inter-VM copy
+  kHostNet,          // host kernel network stack (physical path)
+  kVreadBufferCopy,  // copies into/out of the vRead shared-memory ring
+  kLoopDevice,       // host loop-device + mounted-fs read path
+  kDiskRead,         // block-layer CPU work for disk reads
+  kDiskWrite,        // block-layer CPU work for disk writes
+  kRdma,             // RDMA verb processing (per-WR, per-CQE)
+  kVreadNet,         // user-space TCP transport between vRead daemons
+  kInterrupt,        // virtual interrupt injection/handling
+  kNamenode,         // namenode RPC processing
+  kLookbusy,         // synthetic background CPU load
+  kOther,            // everything else (scheduling, syscalls, misc)
+  kCount
+};
+
+inline constexpr std::uint8_t kNumCategories =
+    static_cast<std::uint8_t>(CycleCategory::kCount);
+
+inline const char* to_string(CycleCategory c) {
+  switch (c) {
+    case CycleCategory::kClientApp: return "client-application";
+    case CycleCategory::kDatanodeApp: return "datanode-application";
+    case CycleCategory::kGuestNetTx: return "guest-net-tx";
+    case CycleCategory::kGuestNetRx: return "guest-net-rx";
+    case CycleCategory::kVirtioCopy: return "data copy(virtio-vqueue)";
+    case CycleCategory::kVhostNet: return "vhost-net";
+    case CycleCategory::kHostNet: return "host-net";
+    case CycleCategory::kVreadBufferCopy: return "data copy(vRead-buffer)";
+    case CycleCategory::kLoopDevice: return "loop device";
+    case CycleCategory::kDiskRead: return "disk read";
+    case CycleCategory::kDiskWrite: return "disk write";
+    case CycleCategory::kRdma: return "rdma";
+    case CycleCategory::kVreadNet: return "vRead-net";
+    case CycleCategory::kInterrupt: return "interrupt";
+    case CycleCategory::kNamenode: return "namenode";
+    case CycleCategory::kLookbusy: return "lookbusy";
+    case CycleCategory::kOther: return "others";
+    case CycleCategory::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace vread::metrics

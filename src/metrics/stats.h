@@ -1,0 +1,70 @@
+// Small statistics helpers used by benches and tests: latency samples with
+// percentiles, and throughput computation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace vread::metrics {
+
+// Collects duration samples; percentile queries sort a copy on demand.
+class LatencyRecorder {
+ public:
+  void record(sim::SimTime v) { samples_.push_back(v); }
+
+  std::size_t count() const { return samples_.size(); }
+  sim::SimTime min() const { return *std::min_element(samples_.begin(), samples_.end()); }
+  sim::SimTime max() const { return *std::max_element(samples_.begin(), samples_.end()); }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (sim::SimTime s : samples_) sum += static_cast<double>(s);
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  // p in [0,100]; nearest-rank percentile.
+  sim::SimTime percentile(double p) const {
+    if (samples_.empty()) return 0;
+    std::vector<sim::SimTime> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    return sorted[static_cast<std::size_t>(rank + 0.5)];
+  }
+
+  void clear() { samples_.clear(); }
+  const std::vector<sim::SimTime>& samples() const { return samples_; }
+
+ private:
+  std::vector<sim::SimTime> samples_;
+};
+
+// Bytes over a simulated duration, reported in MB/s (1 MB = 1e6 bytes, as
+// the paper's MBps axes use decimal megabytes).
+inline double throughput_mbps(std::uint64_t bytes, sim::SimTime elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes) / sim::to_seconds(elapsed) / 1e6;
+}
+
+// Rate of events per second over a simulated duration.
+inline double rate_per_sec(std::uint64_t events, sim::SimTime elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(events) / sim::to_seconds(elapsed);
+}
+
+// Percent improvement of `better` over `base` (positive = better is higher).
+inline double percent_gain(double base, double better) {
+  if (base == 0.0) return 0.0;
+  return (better - base) / base * 100.0;
+}
+
+// Percent reduction of `smaller` relative to `base` (positive = smaller is lower).
+inline double percent_reduction(double base, double smaller) {
+  if (base == 0.0) return 0.0;
+  return (base - smaller) / base * 100.0;
+}
+
+}  // namespace vread::metrics

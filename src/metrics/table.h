@@ -1,0 +1,114 @@
+// ASCII table and bar-chart rendering for the benchmark harnesses.
+//
+// Every bench prints the paper's rows/series through these helpers so the
+// output of `bench/fig11_dfsio_throughput` looks like the figure it
+// regenerates: a caption, column headers, aligned numeric cells, and for
+// figure-style output a proportional horizontal bar per series point.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vread::metrics {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  TablePrinter& add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    auto print_sep = [&] {
+      os << '+';
+      for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+    };
+    auto print_cells = [&](const std::vector<std::string>& cells) {
+      os << '|';
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        std::string cell = i < cells.size() ? cells[i] : "";
+        os << ' ' << std::left << std::setw(static_cast<int>(widths[i])) << cell << " |";
+      }
+      os << '\n';
+    };
+    print_sep();
+    print_cells(headers_);
+    print_sep();
+    for (const auto& row : rows_) print_cells(row);
+    print_sep();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision.
+inline std::string fmt(double v, int precision = 1) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+// Formats a percentage with sign.
+inline std::string fmt_pct(double v, int precision = 1) {
+  std::ostringstream ss;
+  ss << std::showpos << std::fixed << std::setprecision(precision) << v << "%";
+  return ss.str();
+}
+
+// Horizontal bar chart: one labelled bar per value, scaled to max.
+class BarChart {
+ public:
+  explicit BarChart(std::string title, std::string unit = "")
+      : title_(std::move(title)), unit_(std::move(unit)) {}
+
+  BarChart& add(std::string label, double value) {
+    bars_.emplace_back(std::move(label), value);
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout, int width = 50) const {
+    os << title_ << '\n';
+    double maxv = 0.0;
+    std::size_t label_w = 0;
+    for (const auto& [label, v] : bars_) {
+      maxv = std::max(maxv, v);
+      label_w = std::max(label_w, label.size());
+    }
+    for (const auto& [label, v] : bars_) {
+      int n = maxv > 0 ? static_cast<int>(v / maxv * width + 0.5) : 0;
+      os << "  " << std::left << std::setw(static_cast<int>(label_w)) << label << " |"
+         << std::string(static_cast<std::size_t>(n), '#') << ' ' << fmt(v, 1);
+      if (!unit_.empty()) os << ' ' << unit_;
+      os << '\n';
+    }
+  }
+
+ private:
+  std::string title_;
+  std::string unit_;
+  std::vector<std::pair<std::string, double>> bars_;
+};
+
+// Prints a bench banner: which paper artifact this binary regenerates.
+inline void print_banner(const std::string& artifact, const std::string& description) {
+  std::cout << "==============================================================\n"
+            << artifact << " — " << description << '\n'
+            << "==============================================================\n";
+}
+
+}  // namespace vread::metrics

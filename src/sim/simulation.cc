@@ -1,0 +1,84 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+namespace vread::sim {
+
+Simulation::~Simulation() {
+  // Drop pending events first: they may hold handles into detached frames.
+  while (!queue_.empty()) queue_.pop();
+}
+
+void Simulation::post_at(SimTime at, std::function<void()> fn) {
+  if (at < now_) throw SimError("post_at: scheduling into the past");
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulation::resume_at(SimTime at, std::coroutine_handle<> h) {
+  post_at(at, [h] { h.resume(); });
+}
+
+void Simulation::spawn(Task task) {
+  if (!task.valid()) throw SimError("spawn: empty task");
+  task.handle_.promise().detached = true;
+  Task::Handle h = task.handle_;
+  detached_.push_back(std::move(task));
+  // Start the coroutine from the event loop, not inline, so spawn order and
+  // event order commute deterministically.
+  post_at(now_, [h] { h.resume(); });
+}
+
+void Simulation::reap_detached(bool force) {
+  if (!force && detached_.size() < 64) return;
+  std::vector<Task> alive;
+  alive.reserve(detached_.size());
+  for (Task& t : detached_) {
+    if (t.done()) {
+      if (t.handle_.promise().exception && !detached_failure_) {
+        detached_failure_ = t.handle_.promise().exception;
+      }
+    } else {
+      alive.push_back(std::move(t));
+    }
+  }
+  detached_ = std::move(alive);
+}
+
+void Simulation::check_failure() {
+  // Surface failures from already-finished detached tasks promptly.
+  for (Task& t : detached_) {
+    if (t.done() && t.handle_.promise().exception && !detached_failure_) {
+      detached_failure_ = t.handle_.promise().exception;
+    }
+  }
+  if (detached_failure_) {
+    std::exception_ptr e = std::exchange(detached_failure_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void Simulation::run() { run_until(INT64_MAX); }
+
+void Simulation::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.time > deadline) {
+      now_ = deadline;
+      check_failure();
+      return;
+    }
+    // Copy out before pop: fn may post new events.
+    SimTime t = top.time;
+    std::function<void()> fn = std::move(const_cast<Event&>(top).fn);
+    queue_.pop();
+    now_ = t;
+    ++events_dispatched_;
+    fn();
+    if ((events_dispatched_ & 1023) == 0) reap_detached(/*force=*/false);
+    if (detached_failure_) check_failure();
+  }
+  reap_detached(/*force=*/true);
+  check_failure();
+}
+
+}  // namespace vread::sim

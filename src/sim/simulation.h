@@ -1,0 +1,103 @@
+// Deterministic discrete-event simulation driver.
+//
+// Single-threaded: events fire in (time, insertion-sequence) order, so two
+// runs with identical inputs produce identical traces. All synchronization
+// primitives (sync.h) route resumptions through this queue rather than
+// resuming coroutines inline, which keeps wakeup order deterministic and
+// bounds native stack depth.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace vread::sim {
+
+// Error raised for misuse of the engine (e.g. scheduling into the past).
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+  ~Simulation();
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (>= now).
+  void post_at(SimTime at, std::function<void()> fn);
+
+  // Schedules `fn` to run after `delay` nanoseconds.
+  void post(SimTime delay, std::function<void()> fn) { post_at(now_ + delay, fn); }
+
+  // Schedules a coroutine resumption. The handle must stay valid until fired.
+  void resume_at(SimTime at, std::coroutine_handle<> h);
+
+  // Detaches a task onto the simulation: it starts at the current time and
+  // its frame is reaped when it completes. Exceptions escaping a detached
+  // task are captured and rethrown from run().
+  void spawn(Task task);
+
+  // Runs until the event queue drains (or a detached task failed).
+  void run();
+
+  // Runs until the queue drains or simulated time would exceed `deadline`;
+  // `now()` is clamped to `deadline` when the limit is hit.
+  void run_until(SimTime deadline);
+
+  // Awaitable: `co_await sim.delay(d)` suspends for d nanoseconds.
+  struct DelayAwaiter {
+    Simulation& sim;
+    SimTime duration;
+    bool await_ready() const noexcept { return duration <= 0; }
+    void await_suspend(std::coroutine_handle<> h) { sim.resume_at(sim.now_ + duration, h); }
+    void await_resume() const noexcept {}
+  };
+  DelayAwaiter delay(SimTime d) { return DelayAwaiter{*this, d}; }
+
+  // Awaitable that yields control to the event loop at the current time
+  // (other events already queued for `now` run first).
+  DelayAwaiter yield() { return DelayAwaiter{*this, 1}; }
+
+  // Number of events dispatched so far (exposed for tests/benchmarks).
+  std::uint64_t events_dispatched() const { return events_dispatched_; }
+
+  // True when no events are pending (suspended coroutines may still exist:
+  // an idle simulation with unfinished work is a deadlock).
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void reap_detached(bool force);
+  void check_failure();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<Task> detached_;
+  std::exception_ptr detached_failure_{};
+};
+
+}  // namespace vread::sim

@@ -1,0 +1,40 @@
+// Simulated-time definitions for the vRead discrete-event engine.
+//
+// All simulation timestamps are integer nanoseconds since simulation start.
+// Integer time keeps the event queue total-ordered and runs byte-identical
+// across platforms, which the determinism property tests rely on.
+#pragma once
+
+#include <cstdint>
+
+namespace vread::sim {
+
+// A point in simulated time (nanoseconds since simulation start) or a
+// duration in nanoseconds; both use the same representation.
+using SimTime = std::int64_t;
+
+// CPU work is expressed in cycles and converted to SimTime by the
+// hw::CpuScheduler using the configured core frequency.
+using Cycles = std::uint64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1'000;
+constexpr SimTime kMillisecond = 1'000'000;
+constexpr SimTime kSecond = 1'000'000'000;
+
+constexpr SimTime ns(std::int64_t v) { return v * kNanosecond; }
+constexpr SimTime us(std::int64_t v) { return v * kMicrosecond; }
+constexpr SimTime ms(std::int64_t v) { return v * kMillisecond; }
+constexpr SimTime sec(std::int64_t v) { return v * kSecond; }
+
+// Converts a simulated duration to floating-point seconds (for reporting).
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+// Converts a simulated duration to floating-point milliseconds.
+constexpr double to_millis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace vread::sim

@@ -1,0 +1,140 @@
+// Tests for the §2.2 alternative-solution baselines: HDFS Short-Circuit
+// Local Reads and inter-VM shared-memory networking.
+#include <gtest/gtest.h>
+
+#include "apps/cluster.h"
+#include "apps/dfsio.h"
+#include "mem/buffer.h"
+
+namespace vread {
+namespace {
+
+using apps::Cluster;
+using apps::ClusterConfig;
+using apps::DfsIoResult;
+using apps::TestDfsIo;
+using mem::Buffer;
+
+ClusterConfig fast_cfg() {
+  ClusterConfig cfg;
+  cfg.block_size = 4 * 1024 * 1024;
+  return cfg;
+}
+
+TEST(ShortCircuit, SameVmReadBypassesDatanodeProcess) {
+  Cluster c(fast_cfg());
+  c.add_host("host1");
+  c.add_vm("host1", "client");
+  c.create_namenode("client");
+  c.add_datanode_in_vm("client");  // datanode id == "client"
+  c.add_client("client").set_short_circuit(true);
+  c.preload_file("/f", 8 << 20, 61, {{"client"}});
+  c.drop_all_caches();
+  DfsIoResult r;
+  c.run_job(TestDfsIo::read(c, "client", "/f", 1 << 20, r));
+  EXPECT_EQ(r.checksum, Buffer::deterministic(61, 0, 8 << 20).checksum());
+  // No socket traffic at all: the datanode served zero bytes.
+  EXPECT_EQ(c.datanode("client")->bytes_served(), 0u);
+}
+
+TEST(ShortCircuit, SeparatedVmsNeverQualify) {
+  // The paper's §2.2 point: with client and datanode in different VMs,
+  // short-circuit silently degenerates to the vanilla socket path.
+  Cluster c(fast_cfg());
+  c.add_host("host1");
+  c.add_vm("host1", "client");
+  c.create_namenode("client");
+  c.add_datanode("host1", "datanode1");
+  c.add_client("client").set_short_circuit(true);
+  c.preload_file("/f", 4 << 20, 62, {{"datanode1"}});
+  DfsIoResult r;
+  c.run_job(TestDfsIo::read(c, "client", "/f", 1 << 20, r));
+  EXPECT_EQ(r.checksum, Buffer::deterministic(62, 0, 4 << 20).checksum());
+  EXPECT_EQ(c.datanode("datanode1")->bytes_served(), 4u << 20);  // socket path
+}
+
+TEST(ShortCircuit, MissingLocalFileFallsBackToSocket) {
+  // Registered locally in the namenode but the file is gone from the local
+  // fs (e.g. moved): SCR must fall back, correctness intact via a second
+  // replica served over the socket.
+  Cluster c(fast_cfg());
+  c.add_host("host1");
+  c.add_vm("host1", "client");
+  c.create_namenode("client");
+  c.add_datanode_in_vm("client");
+  c.add_datanode("host1", "datanode1");
+  c.add_client("client").set_short_circuit(true);
+  c.preload_file("/f", 4 << 20, 63, {{"client", "datanode1"}});
+  // Remove the local replica file from the client VM's fs.
+  for (const auto& blk : c.namenode().all_blocks("/f")) {
+    c.vm("client")->fs().remove(hdfs::DataNode::block_path(blk.name));
+  }
+  DfsIoResult r;
+  c.run_job(TestDfsIo::read(c, "client", "/f", 1 << 20, r));
+  EXPECT_EQ(r.checksum, Buffer::deterministic(63, 0, 4 << 20).checksum());
+}
+
+TEST(ShortCircuit, FasterThanSocketForCachedLocalData) {
+  auto run = [](bool scr) {
+    Cluster c(fast_cfg());
+    c.add_host("host1");
+    c.add_vm("host1", "client");
+    c.create_namenode("client");
+    c.add_datanode_in_vm("client");
+    c.add_client("client").set_short_circuit(scr);
+    c.preload_file("/f", 8 << 20, 64, {{"client"}});
+    DfsIoResult warm, r;
+    c.run_job(TestDfsIo::read(c, "client", "/f", 1 << 20, warm));
+    c.run_job(TestDfsIo::read(c, "client", "/f", 1 << 20, r));
+    return r.throughput_mbps;
+  };
+  EXPECT_GT(run(true), run(false) * 1.3);
+}
+
+TEST(IvshmemNet, SavesExactlyOneCopyPerByte) {
+  auto virtio_copy_cycles = [](bool shm) {
+    Cluster c(fast_cfg());
+    c.add_host("host1");
+    c.add_vm("host1", "client");
+    c.create_namenode("client");
+    c.add_datanode("host1", "datanode1");
+    c.add_client("client");
+    c.net().set_intervm_shm(shm);
+    c.preload_file("/f", 8 << 20, 65, {{"datanode1"}});
+    DfsIoResult r;
+    c.run_job(TestDfsIo::read(c, "client", "/f", 1 << 20, r));
+    EXPECT_EQ(r.checksum, Buffer::deterministic(65, 0, 8 << 20).checksum());
+    return static_cast<double>(
+        c.acct().group_total("client", metrics::CycleCategory::kVirtioCopy) +
+        c.acct().group_total("datanode1", metrics::CycleCategory::kVirtioCopy));
+  };
+  const double with_copies = virtio_copy_cycles(false);
+  const double shm = virtio_copy_cycles(true);
+  hw::CostModel cm;
+  // The receiver-ring copy (1 per byte over 8 MB of payload) disappears.
+  EXPECT_NEAR(with_copies - shm, static_cast<double>(cm.copy_cost(8 << 20)),
+              0.15 * static_cast<double>(cm.copy_cost(8 << 20)));
+}
+
+TEST(IvshmemNet, RemoteTrafficUnaffected) {
+  auto run = [](bool shm) {
+    Cluster c(fast_cfg());
+    c.add_host("host1");
+    c.add_host("host2");
+    c.add_vm("host1", "client");
+    c.create_namenode("client");
+    c.add_datanode("host2", "datanode2");
+    c.add_client("client");
+    c.net().set_intervm_shm(shm);
+    c.preload_file("/f", 8 << 20, 66, {{"datanode2"}});
+    c.drop_all_caches();
+    DfsIoResult r;
+    c.run_job(TestDfsIo::read(c, "client", "/f", 1 << 20, r));
+    return std::pair{c.sim().now(), r.checksum};
+  };
+  // Cross-host paths cannot use the shared-memory grant: identical timing.
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace vread

@@ -1,0 +1,212 @@
+// Final grab-bag of small distinct behaviors not covered elsewhere:
+// readahead-state lifecycle, network API misuse, libvread descriptor
+// errors, MapReduce edge inputs, and deep filesystem namespaces.
+#include <gtest/gtest.h>
+
+#include "apps/cluster.h"
+#include "apps/dfsio.h"
+#include "apps/mapreduce.h"
+#include "core/libvread.h"
+#include "fs/loop_mount.h"
+#include "mem/buffer.h"
+
+namespace vread {
+namespace {
+
+using apps::Cluster;
+using apps::ClusterConfig;
+using apps::DfsIoResult;
+using apps::TestDfsIo;
+using mem::Buffer;
+
+ClusterConfig fast_cfg() {
+  ClusterConfig cfg;
+  cfg.block_size = 4 * 1024 * 1024;
+  return cfg;
+}
+
+// --- guest readahead lifecycle ---
+
+TEST(GuestReadahead, DropCachesResetsStateWithoutCorruption) {
+  ClusterConfig cfg = fast_cfg();
+  Cluster c(cfg);
+  c.add_host("host1");
+  c.add_vm("host1", "vm");
+  virt::Vm* vm = c.vm("vm");
+  Buffer data = Buffer::deterministic(1, 0, 2 << 20);
+  std::uint32_t ino = vm->fs().write_file("/f", data);
+  vm->drop_caches();
+  auto seq = [](virt::Vm* v, std::uint32_t i, Buffer* out) -> sim::Task {
+    for (int round = 0; round < 3; ++round) {
+      // Sequential pass, then a cache drop mid-stream.
+      for (std::uint64_t off = 0; off < (2 << 20); off += 256 << 10) {
+        Buffer b;
+        co_await v->fs_read(i, off, 256 << 10, b, hw::CycleCategory::kClientApp);
+        if (round == 2) out->append(b);
+      }
+      v->drop_caches();
+    }
+  };
+  Buffer got;
+  c.run_job(seq(vm, ino, &got));
+  EXPECT_EQ(got, data);
+}
+
+TEST(GuestReadahead, RandomThenSequentialPatternSwitch) {
+  ClusterConfig cfg = fast_cfg();
+  Cluster c(cfg);
+  c.add_host("host1");
+  c.add_vm("host1", "vm");
+  virt::Vm* vm = c.vm("vm");
+  Buffer data = Buffer::deterministic(2, 0, 2 << 20);
+  std::uint32_t ino = vm->fs().write_file("/f", data);
+  vm->drop_caches();
+  bool ok = false;
+  auto mixed = [](virt::Vm* v, std::uint32_t i, const Buffer* ref, bool* flag)
+      -> sim::Task {
+    // Random pokes...
+    for (std::uint64_t off : {1'500'000ULL, 37ULL, 900'000ULL}) {
+      Buffer b;
+      co_await v->fs_read(i, off, 1000, b, hw::CycleCategory::kClientApp);
+      if (b != ref->slice(off, 1000)) co_return;
+    }
+    // ...then a sequential sweep.
+    Buffer all;
+    for (std::uint64_t off = 0; off < (2 << 20); off += 128 << 10) {
+      Buffer b;
+      co_await v->fs_read(i, off, 128 << 10, b, hw::CycleCategory::kClientApp);
+      all.append(b);
+    }
+    *flag = all == *ref;
+  };
+  c.run_job(mixed(vm, ino, &data, &ok));
+  EXPECT_TRUE(ok);
+}
+
+// --- network API misuse ---
+
+TEST(NetMisuse, AcceptWithoutListenerThrows) {
+  ClusterConfig cfg;
+  Cluster c(cfg);
+  c.add_host("host1");
+  c.add_vm("host1", "vm");
+  auto proc = [](Cluster* cl) -> sim::Task {
+    virt::TcpSocket s;
+    co_await cl->net().accept(*cl->vm("vm"), 99, s);
+  };
+  EXPECT_THROW(c.run_job(proc(&c)), virt::NetError);
+}
+
+TEST(NetMisuse, ConnectToClosedPortThrows) {
+  ClusterConfig cfg;
+  Cluster c(cfg);
+  c.add_host("host1");
+  c.add_vm("host1", "a");
+  c.add_vm("host1", "b");
+  auto proc = [](Cluster* cl) -> sim::Task {
+    virt::TcpSocket s;
+    co_await cl->net().connect(*cl->vm("a"), "b", 1234, s);
+  };
+  EXPECT_THROW(c.run_job(proc(&c)), virt::NetError);
+}
+
+// --- libvread descriptor errors ---
+
+TEST(LibVreadErrors, SeekAndCloseOnUnknownDescriptor) {
+  ClusterConfig cfg = fast_cfg();
+  Cluster c(cfg);
+  c.add_host("host1");
+  c.add_vm("host1", "client");
+  c.create_namenode("client");
+  c.add_datanode("host1", "datanode1");
+  c.add_client("client");
+  c.enable_vread();
+  core::LibVread* lib = c.libvread("client");
+  std::int64_t seek_result = 0;
+  int close_result = 0;
+  auto proc = [](core::LibVread* l, std::int64_t* sr, int* cr) -> sim::Task {
+    co_await l->vread_seek(999, 0, *sr);
+    co_await l->vread_close(999, *cr);
+  };
+  c.run_job(proc(lib, &seek_result, &close_result));
+  EXPECT_EQ(seek_result, -1);
+  EXPECT_EQ(close_result, -1);
+}
+
+// --- MapReduce edges ---
+
+TEST(MapReduceEdges, EmptyInputYieldsEmptyHistogram) {
+  ClusterConfig cfg = fast_cfg();
+  Cluster c(cfg);
+  c.add_host("host1");
+  c.add_vm("host1", "client");
+  c.create_namenode("client");
+  c.add_datanode("host1", "datanode1");
+  c.add_client("client");
+  c.namenode().create_file("/empty", cfg.block_size);
+  apps::MapReduceResult r;
+  c.run_job(apps::MapReduceJob::run(c, "client", {.input = "/empty", .output = "/o"}, r));
+  EXPECT_EQ(r.total_count(), 0u);
+  EXPECT_EQ(r.map_tasks, 0u);
+}
+
+TEST(MapReduceEdges, MoreReducersThanKeysStillExact) {
+  ClusterConfig cfg = fast_cfg();
+  Cluster c(cfg);
+  c.add_host("host1");
+  c.add_vm("host1", "client");
+  c.create_namenode("client");
+  c.add_datanode("host1", "datanode1");
+  c.add_client("client");
+  c.preload_file("/in", 1 << 20, 60, {{"datanode1"}});
+  apps::MapReduceResult r;
+  c.run_job(apps::MapReduceJob::run(
+      c, "client", {.input = "/in", .output = "/o", .reducers = 300}, r));
+  EXPECT_EQ(r.histogram, apps::MapReduceJob::expected_histogram(60, 1 << 20));
+}
+
+// --- deep filesystem namespaces through the whole stack ---
+
+TEST(DeepPaths, LoopMountHandlesDeepDirectories) {
+  auto img = std::make_shared<fs::DiskImage>(64ULL << 20);
+  fs::SimFs fs = fs::SimFs::format(img);
+  std::string dir;
+  for (int d = 0; d < 6; ++d) {
+    dir += "/d" + std::to_string(d);
+    fs.mkdir(dir);
+  }
+  Buffer data = Buffer::deterministic(3, 0, 5000);
+  fs.write_file(dir + "/leaf", data);
+  fs::LoopMount mount(img);
+  auto ino = mount.lookup(dir + "/leaf");
+  ASSERT_TRUE(ino.has_value());
+  EXPECT_EQ(mount.read(*ino, 0, 5000), data);
+}
+
+TEST(DeepPaths, HdfsPathsAreOpaqueStrings) {
+  ClusterConfig cfg = fast_cfg();
+  Cluster c(cfg);
+  c.add_host("host1");
+  c.add_vm("host1", "client");
+  c.create_namenode("client");
+  c.add_datanode("host1", "datanode1");
+  c.add_client("client");
+  const std::string path = "/user/alice/warehouse/db1/table_7/part-00000";
+  c.preload_file(path, 1 << 20, 61, {{"datanode1"}});
+  DfsIoResult r;
+  c.run_job(TestDfsIo::read(c, "client", path, 1 << 20, r));
+  EXPECT_EQ(r.checksum, Buffer::deterministic(61, 0, 1 << 20).checksum());
+}
+
+// --- conversion helpers round trip ---
+
+TEST(CpuConversions, TimeCyclesRoundTrip) {
+  sim::Simulation s;
+  metrics::CycleAccounting acct;
+  hw::CpuScheduler cpu(s, acct, {.cores = 1, .freq_ghz = 3.2});
+  EXPECT_EQ(cpu.time_to_cycles(cpu.cycles_to_time(3'200'000)), 3'200'000u);
+  EXPECT_EQ(cpu.cycles_to_time(3'200'000'000ULL), sim::sec(1));
+}
+
+}  // namespace
+}  // namespace vread

@@ -1,0 +1,115 @@
+// Tests for the mini MapReduce framework: exact output verification on
+// every read path, split coverage, and output-file round trips.
+#include <gtest/gtest.h>
+
+#include "apps/cluster.h"
+#include "apps/mapreduce.h"
+#include "hdfs/wire.h"
+#include "mem/buffer.h"
+
+namespace vread::apps {
+namespace {
+
+using mem::Buffer;
+
+ClusterConfig fast_cfg() {
+  ClusterConfig cfg;
+  cfg.block_size = 4 * 1024 * 1024;
+  return cfg;
+}
+
+struct Bed {
+  Cluster cluster;
+  Bed() : cluster(fast_cfg()) {
+    cluster.add_host("host1");
+    cluster.add_host("host2");
+    cluster.add_vm("host1", "client");
+    cluster.create_namenode("client");
+    cluster.add_datanode("host1", "datanode1");
+    cluster.add_datanode("host2", "datanode2");
+    cluster.add_client("client");
+  }
+};
+
+TEST(MapReduce, HistogramMatchesGroundTruthVanilla) {
+  Bed bed;
+  Cluster& c = bed.cluster;
+  const std::uint64_t bytes = 10 * 1024 * 1024;
+  c.preload_file("/in", bytes, 81, {{"datanode1"}, {"datanode2"}});
+  c.drop_all_caches();
+  MapReduceResult r;
+  c.run_job(MapReduceJob::run(c, "client", {.input = "/in", .output = "/out"}, r));
+  EXPECT_EQ(r.input_bytes, bytes);
+  EXPECT_EQ(r.map_tasks, 3u);  // one per block
+  EXPECT_EQ(r.total_count(), bytes);
+  EXPECT_EQ(r.histogram, MapReduceJob::expected_histogram(81, bytes));
+  EXPECT_GT(r.elapsed, 0);
+}
+
+TEST(MapReduce, SameResultThroughVRead) {
+  Bed bed;
+  Cluster& c = bed.cluster;
+  const std::uint64_t bytes = 10 * 1024 * 1024;
+  c.preload_file("/in", bytes, 82, {{"datanode1"}, {"datanode2"}});
+  c.enable_vread();
+  c.drop_all_caches();
+  MapReduceResult r;
+  c.run_job(MapReduceJob::run(c, "client", {.input = "/in", .output = "/out"}, r));
+  EXPECT_EQ(r.histogram, MapReduceJob::expected_histogram(82, bytes));
+  EXPECT_GT(c.daemon("host1")->reads() + c.daemon("host1")->remote_reads(), 0u);
+}
+
+TEST(MapReduce, OutputFileHoldsSerializedHistogram) {
+  Bed bed;
+  Cluster& c = bed.cluster;
+  const std::uint64_t bytes = 4 * 1024 * 1024;
+  c.preload_file("/in", bytes, 83, {{"datanode1"}});
+  MapReduceResult r;
+  c.run_job(MapReduceJob::run(c, "client", {.input = "/in", .output = "/out"}, r));
+  // Read the output back and decode.
+  Buffer raw;
+  auto reader = [](Cluster* cl, Buffer* out) -> sim::Task {
+    std::unique_ptr<hdfs::DfsInputStream> in;
+    co_await cl->client("client")->open("/out", in);
+    co_await in->read(1 << 20, *out);
+    co_await in->close();
+  };
+  c.run_job(reader(&c, &raw));
+  ASSERT_EQ(raw.size(), 256u * 8);
+  hdfs::wire::Reader wr(raw);
+  for (int k = 0; k < 256; ++k) {
+    EXPECT_EQ(wr.u64(), r.histogram[static_cast<std::size_t>(k)]) << "key " << k;
+  }
+}
+
+TEST(MapReduce, ReducerCountDoesNotChangeResult) {
+  Bed bed;
+  Cluster& c = bed.cluster;
+  const std::uint64_t bytes = 4 * 1024 * 1024;
+  c.preload_file("/in", bytes, 84, {{"datanode1"}});
+  MapReduceResult r1, r8;
+  c.run_job(MapReduceJob::run(c, "client",
+                              {.input = "/in", .output = "/out1", .reducers = 1}, r1));
+  c.run_job(MapReduceJob::run(c, "client",
+                              {.input = "/in", .output = "/out8", .reducers = 8}, r8));
+  EXPECT_EQ(r1.histogram, r8.histogram);
+}
+
+TEST(MapReduce, VReadSpeedsUpTheJob) {
+  auto run = [](bool vread) {
+    Bed bed;
+    Cluster& c = bed.cluster;
+    const std::uint64_t bytes = 16 * 1024 * 1024;
+    c.preload_file("/in", bytes, 85, {{"datanode1"}, {"datanode2"}});
+    if (vread) c.enable_vread();
+    c.drop_all_caches();
+    MapReduceResult r;
+    c.run_job(MapReduceJob::run(c, "client", {.input = "/in", .output = "/out"}, r));
+    EXPECT_EQ(r.histogram, MapReduceJob::expected_histogram(85, bytes));
+    return r.elapsed;
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace vread::apps

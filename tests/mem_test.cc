@@ -1,0 +1,105 @@
+// Unit tests for buffers and the page cache.
+#include <gtest/gtest.h>
+
+#include "mem/buffer.h"
+#include "mem/page_cache.h"
+
+namespace vread::mem {
+namespace {
+
+TEST(Buffer, DeterministicContentIsOffsetAddressable) {
+  Buffer whole = Buffer::deterministic(42, 0, 1000);
+  Buffer tail = Buffer::deterministic(42, 500, 500);
+  EXPECT_EQ(whole.slice(500, 500), tail);
+}
+
+TEST(Buffer, DifferentSeedsDiffer) {
+  Buffer a = Buffer::deterministic(1, 0, 256);
+  Buffer b = Buffer::deterministic(2, 0, 256);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.checksum(), b.checksum());
+}
+
+TEST(Buffer, ChecksumDetectsCorruption) {
+  Buffer a = Buffer::deterministic(7, 0, 4096);
+  std::uint64_t sum = a.checksum();
+  a[100] ^= 0xff;
+  EXPECT_NE(a.checksum(), sum);
+}
+
+TEST(Buffer, AppendAndSlice) {
+  Buffer a = Buffer::deterministic(3, 0, 100);
+  Buffer b = Buffer::deterministic(3, 100, 50);
+  Buffer joined = a;
+  joined.append(b);
+  EXPECT_EQ(joined.size(), 150u);
+  EXPECT_EQ(joined, Buffer::deterministic(3, 0, 150));
+  EXPECT_EQ(joined.slice(100, 50), b);
+}
+
+TEST(Buffer, EmptyChecksumIsFnvBasis) {
+  Buffer e;
+  EXPECT_EQ(e.checksum(), 0xcbf29ce484222325ULL);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(PageCache, MissThenHit) {
+  PageCache cache(1 << 20);  // 256 pages
+  EXPECT_EQ(cache.miss_bytes(1, 0, 8192), 8192u);
+  cache.fill(1, 0, 8192);
+  EXPECT_EQ(cache.miss_bytes(1, 0, 8192), 0u);
+  EXPECT_EQ(cache.resident_pages(), 2u);
+}
+
+TEST(PageCache, PartialRangeMiss) {
+  PageCache cache(1 << 20);
+  cache.fill(1, 0, 4096);  // page 0 only
+  // Range spans pages 0 and 1; only page 1's span misses.
+  EXPECT_EQ(cache.miss_bytes(1, 2048, 4096), 2048u);
+}
+
+TEST(PageCache, ObjectsAreIndependent) {
+  PageCache cache(1 << 20);
+  cache.fill(1, 0, 4096);
+  EXPECT_EQ(cache.miss_bytes(2, 0, 4096), 4096u);
+  cache.invalidate_object(1);
+  EXPECT_EQ(cache.miss_bytes(1, 0, 4096), 4096u);
+}
+
+TEST(PageCache, LruEvictionOrder) {
+  PageCache cache(4 * 4096);  // 4 pages
+  cache.fill(1, 0, 4 * 4096);  // pages 0..3
+  // Touch page 0 so page 1 becomes LRU.
+  EXPECT_EQ(cache.miss_bytes(1, 0, 4096), 0u);
+  // Insert a new page; page 1 should be evicted.
+  cache.fill(1, 4 * 4096, 4096);
+  EXPECT_EQ(cache.miss_bytes(1, 0, 4096), 0u);          // page 0 still in
+  EXPECT_EQ(cache.miss_bytes(1, 4096, 4096), 4096u);    // page 1 evicted
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(PageCache, ZeroCapacityNeverCaches) {
+  PageCache cache(0);
+  cache.fill(1, 0, 8192);
+  EXPECT_EQ(cache.miss_bytes(1, 0, 8192), 8192u);
+  EXPECT_EQ(cache.resident_pages(), 0u);
+}
+
+TEST(PageCache, ZeroLengthRange) {
+  PageCache cache(1 << 20);
+  EXPECT_EQ(cache.miss_bytes(1, 0, 0), 0u);
+  cache.fill(1, 0, 0);
+  EXPECT_EQ(cache.resident_pages(), 0u);
+}
+
+TEST(PageCache, HitMissCounters) {
+  PageCache cache(1 << 20);
+  cache.miss_bytes(9, 0, 4096);
+  cache.fill(9, 0, 4096);
+  cache.miss_bytes(9, 0, 4096);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+}  // namespace
+}  // namespace vread::mem

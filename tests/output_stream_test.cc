@@ -1,0 +1,160 @@
+// Tests for the streaming write path (DfsOutputStream) and the default
+// block-placement policy.
+#include <gtest/gtest.h>
+
+#include "apps/cluster.h"
+#include "apps/dfsio.h"
+#include "mem/buffer.h"
+
+namespace vread::hdfs {
+namespace {
+
+using apps::Cluster;
+using apps::ClusterConfig;
+using mem::Buffer;
+
+ClusterConfig fast_cfg() {
+  ClusterConfig cfg;
+  cfg.block_size = 4 * 1024 * 1024;
+  return cfg;
+}
+
+struct Bed {
+  Cluster cluster;
+  Bed() : cluster(fast_cfg()) {
+    cluster.add_host("host1");
+    cluster.add_host("host2");
+    cluster.add_vm("host1", "client");
+    cluster.create_namenode("client");
+    cluster.add_datanode("host1", "datanode1");
+    cluster.add_datanode("host2", "datanode2");
+    cluster.add_client("client");
+  }
+};
+
+sim::Task read_all(DfsClient& client, std::string path, Buffer& out) {
+  std::unique_ptr<DfsInputStream> in;
+  co_await client.open(path, in);
+  for (;;) {
+    Buffer chunk;
+    co_await in->read(1 << 20, chunk);
+    if (chunk.empty()) break;
+    out.append(chunk);
+  }
+  co_await in->close();
+}
+
+TEST(OutputStream, IncrementalWritesFlushPerBlock) {
+  Bed bed;
+  Cluster& c = bed.cluster;
+  DfsClient* client = c.client("client");
+  const std::uint64_t total = 10 * 1024 * 1024;  // 2.5 blocks
+  auto writer = [](Cluster* cl, DfsClient* cli, std::uint64_t n) -> sim::Task {
+    std::unique_ptr<DfsOutputStream> out;
+    std::vector<std::string> pipeline = {"datanode1"};
+    co_await cli->create("/s", Cluster::place_on(pipeline), cl->config().block_size,
+                         out);
+    // Write in awkward pieces that straddle block boundaries.
+    std::uint64_t off = 0;
+    while (off < n) {
+      const std::uint64_t piece = std::min<std::uint64_t>(1'300'000, n - off);
+      co_await out->write(Buffer::deterministic(71, off, piece));
+      off += piece;
+    }
+    co_await out->close();
+    if (out->bytes_written() != n) throw std::runtime_error("byte count mismatch");
+  };
+  c.run_job(writer(&c, client, total));
+  EXPECT_EQ(c.namenode().file_size("/s"), total);
+  EXPECT_EQ(c.namenode().all_blocks("/s").size(), 3u);
+  Buffer got;
+  c.run_job(read_all(*client, "/s", got));
+  EXPECT_EQ(got, Buffer::deterministic(71, 0, total));
+}
+
+TEST(OutputStream, CloseIsIdempotentAndWriteAfterCloseThrows) {
+  Bed bed;
+  Cluster& c = bed.cluster;
+  auto proc = [](Cluster* cl, bool* threw) -> sim::Task {
+    std::unique_ptr<DfsOutputStream> out;
+    std::vector<std::string> pipeline = {"datanode1"};
+    co_await cl->client("client")->create("/s", Cluster::place_on(pipeline),
+                                          cl->config().block_size, out);
+    co_await out->write(Buffer::deterministic(1, 0, 1000));
+    co_await out->close();
+    co_await out->close();  // idempotent
+    try {
+      co_await out->write(Buffer::deterministic(1, 0, 1));
+    } catch (const HdfsError&) {
+      *threw = true;
+    }
+  };
+  bool threw = false;
+  c.run_job(proc(&c, &threw));
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(c.namenode().file_size("/s"), 1000u);
+}
+
+TEST(OutputStream, BlockBoundaryExactWrite) {
+  Bed bed;
+  Cluster& c = bed.cluster;
+  const std::uint64_t total = 2 * c.config().block_size;  // exactly 2 blocks
+  auto writer = [](Cluster* cl, std::uint64_t n) -> sim::Task {
+    std::unique_ptr<DfsOutputStream> out;
+    std::vector<std::string> pipeline = {"datanode1"};
+    co_await cl->client("client")->create("/s", Cluster::place_on(pipeline),
+                                          cl->config().block_size, out);
+    co_await out->write(Buffer::deterministic(72, 0, n));
+    co_await out->close();
+  };
+  c.run_job(writer(&c, total));
+  EXPECT_EQ(c.namenode().all_blocks("/s").size(), 2u);  // no empty 3rd block
+  EXPECT_EQ(c.namenode().file_size("/s"), total);
+}
+
+TEST(DefaultPlacement, PrefersColocatedDatanodeFirst) {
+  Bed bed;
+  Cluster& c = bed.cluster;
+  DfsClient* client = c.client("client");
+  auto placement = client->default_placement(2);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    auto pipeline = placement(i);
+    ASSERT_EQ(pipeline.size(), 2u);
+    EXPECT_EQ(pipeline[0], "datanode1");  // co-located with host1 client
+    EXPECT_EQ(pipeline[1], "datanode2");
+  }
+}
+
+TEST(DefaultPlacement, WriteWithDefaultPolicyRoundTrips) {
+  Bed bed;
+  Cluster& c = bed.cluster;
+  DfsClient* client = c.client("client");
+  const std::uint64_t total = 6 * 1024 * 1024;
+  auto writer = [](Cluster* cl, DfsClient* cli, std::uint64_t n) -> sim::Task {
+    co_await cli->write_file("/d", Buffer::deterministic(73, 0, n),
+                             cli->default_placement(2), cl->config().block_size);
+  };
+  c.run_job(writer(&c, client, total));
+  // Both replicas exist for each block.
+  for (const BlockInfo& b : c.namenode().all_blocks("/d")) {
+    ASSERT_EQ(b.locations.size(), 2u);
+    for (const std::string& dn : b.locations) {
+      EXPECT_TRUE(
+          c.datanode(dn)->vm().fs().exists(DataNode::block_path(b.name)));
+    }
+  }
+  Buffer got;
+  c.run_job(read_all(*client, "/d", got));
+  EXPECT_EQ(got, Buffer::deterministic(73, 0, total));
+}
+
+TEST(DefaultPlacement, ReplicationCappedByClusterSize) {
+  Bed bed;
+  Cluster& c = bed.cluster;
+  auto placement = c.client("client")->default_placement(5);  // only 2 DNs exist
+  auto pipeline = placement(0);
+  EXPECT_EQ(pipeline.size(), 2u);
+}
+
+}  // namespace
+}  // namespace vread::hdfs

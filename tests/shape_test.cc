@@ -1,0 +1,300 @@
+// Paper-shape regression suite: the qualitative results of every headline
+// experiment, asserted with loose bounds so refactoring or recalibration
+// cannot silently break the reproduction. Sizes are scaled down from the
+// bench harnesses to keep the suite fast; the ScaleInvariance property
+// (properties_test.cc) justifies that.
+#include <gtest/gtest.h>
+
+#include "apps/cluster.h"
+#include "apps/dfsio.h"
+#include "apps/hbase.h"
+#include "apps/hive.h"
+#include "apps/sqoop.h"
+#include "apps/netperf.h"
+#include "apps/table.h"
+#include "core/vread_daemon.h"
+#include "mem/buffer.h"
+
+namespace vread {
+namespace {
+
+using apps::Cluster;
+using apps::ClusterConfig;
+using apps::DfsIoResult;
+using apps::TestDfsIo;
+
+struct Throughputs {
+  double cold;
+  double reread;
+};
+
+Throughputs run_read(double freq, bool four_vms, bool vread, bool remote,
+                     core::VReadDaemon::Transport transport =
+                         core::VReadDaemon::Transport::kRdma) {
+  ClusterConfig cfg;
+  cfg.freq_ghz = freq;
+  cfg.block_size = 8ULL << 20;
+  Cluster c(cfg);
+  c.add_host("host1");
+  c.add_host("host2");
+  c.add_vm("host1", "client");
+  c.create_namenode("client");
+  c.add_datanode("host1", "datanode1");
+  c.add_datanode("host2", "datanode2");
+  c.add_client("client");
+  if (four_vms) {
+    c.add_lookbusy("host1", "bg1a", 0.85);
+    c.add_lookbusy("host1", "bg1b", 0.85);
+    c.add_lookbusy("host2", "bg2a", 0.85);
+    c.add_lookbusy("host2", "bg2b", 0.85);
+  }
+  c.preload_file("/data", 48ULL << 20, 4242, {{remote ? "datanode2" : "datanode1"}});
+  if (vread) c.enable_vread(transport);
+  c.drop_all_caches();
+  Throughputs t{};
+  DfsIoResult r;
+  c.run_job(TestDfsIo::read(c, "client", "/data", 1 << 20, r));
+  t.cold = r.throughput_mbps;
+  c.run_job(TestDfsIo::read(c, "client", "/data", 1 << 20, r));
+  t.reread = r.throughput_mbps;
+  return t;
+}
+
+double gain(double base, double better) { return (better - base) / base * 100.0; }
+
+TEST(PaperShape, Fig11ColocatedGainsAndFrequencyTrend) {
+  Throughputs v16 = run_read(1.6, false, false, false);
+  Throughputs r16 = run_read(1.6, false, true, false);
+  Throughputs v32 = run_read(3.2, false, false, false);
+  Throughputs r32 = run_read(3.2, false, true, false);
+  // vRead wins cold and re-read at both frequencies.
+  EXPECT_GT(r16.cold, v16.cold);
+  EXPECT_GT(r32.cold, v32.cold);
+  EXPECT_GT(r16.reread, v16.reread);
+  EXPECT_GT(r32.reread, v32.reread);
+  // Cold gain band (paper +41% at 1.6 GHz, +20% at 3.2 GHz).
+  EXPECT_GT(gain(v16.cold, r16.cold), 25.0);
+  EXPECT_LT(gain(v16.cold, r16.cold), 75.0);
+  // Gain shrinks as the CPU gets faster.
+  EXPECT_GT(gain(v16.cold, r16.cold), gain(v32.cold, r32.cold));
+  // Re-read gain exceeds cold gain (paper: up to +150% vs +41%).
+  EXPECT_GT(gain(v16.reread, r16.reread), gain(v16.cold, r16.cold));
+  EXPECT_GT(gain(v16.reread, r16.reread), 60.0);
+}
+
+TEST(PaperShape, Fig11RemoteRdmaWins) {
+  Throughputs v = run_read(2.0, false, false, true);
+  Throughputs r = run_read(2.0, false, true, true);
+  EXPECT_GT(gain(v.cold, r.cold), 10.0);
+  EXPECT_GT(gain(v.reread, r.reread), 50.0);
+}
+
+TEST(PaperShape, Fig11FourVmsWidenTheGap) {
+  Throughputs v2 = run_read(2.0, false, false, false);
+  Throughputs r2 = run_read(2.0, false, true, false);
+  Throughputs v4 = run_read(2.0, true, false, false);
+  Throughputs r4 = run_read(2.0, true, true, false);
+  EXPECT_GE(gain(v4.cold, r4.cold), gain(v2.cold, r2.cold) - 1.0);
+  EXPECT_GT(gain(v4.reread, r4.reread), gain(v2.reread, r2.reread) - 1.0);
+}
+
+TEST(PaperShape, Fig12VReadUsesFewerCpuCycles) {
+  auto cpu_ms = [](bool vread) {
+    ClusterConfig cfg;
+    cfg.block_size = 8ULL << 20;
+    Cluster c(cfg);
+    c.add_host("host1");
+    c.add_vm("host1", "client");
+    c.create_namenode("client");
+    c.add_datanode("host1", "datanode1");
+    c.add_client("client");
+    c.preload_file("/data", 32ULL << 20, 7, {{"datanode1"}});
+    if (vread) c.enable_vread();
+    c.drop_all_caches();
+    DfsIoResult r;
+    c.run_job(TestDfsIo::read(c, "client", "/data", 1 << 20, r));
+    return r.cpu_time_ms;
+  };
+  const double vanilla = cpu_ms(false);
+  const double vr = cpu_ms(true);
+  // Paper Fig. 12: substantial client CPU savings (we measure ~50%).
+  EXPECT_LT(vr, vanilla * 0.7);
+}
+
+TEST(PaperShape, Fig13WritesUnaffected) {
+  auto write_mbps = [](bool vread) {
+    ClusterConfig cfg;
+    cfg.block_size = 8ULL << 20;
+    Cluster c(cfg);
+    c.add_host("host1");
+    c.add_vm("host1", "client");
+    c.create_namenode("client");
+    c.add_datanode("host1", "datanode1");
+    c.add_client("client");
+    if (vread) c.enable_vread();
+    DfsIoResult r;
+    c.run_job(TestDfsIo::write(c, "client", "/out", 32ULL << 20, 8,
+                               Cluster::place_on({"datanode1"}), r));
+    return r.throughput_mbps;
+  };
+  const double vanilla = write_mbps(false);
+  const double vr = write_mbps(true);
+  EXPECT_NEAR(vr, vanilla, vanilla * 0.02);  // within 2%
+}
+
+TEST(PaperShape, Fig3LookbusyDropsTransactionRate) {
+  auto rate = [](bool bg) {
+    ClusterConfig cfg;
+    cfg.freq_ghz = 3.2;
+    Cluster c(cfg);
+    c.add_host("host1");
+    c.add_vm("host1", "s");
+    c.add_vm("host1", "cl");
+    if (bg) {
+      c.add_lookbusy("host1", "bg1", 0.85);
+      c.add_lookbusy("host1", "bg2", 0.85);
+    }
+    apps::NetperfResult r;
+    c.sim().spawn(apps::Netperf::server(c, "s", 64 << 10, 600));
+    c.run_job(apps::Netperf::client(c, "cl", "s", 64 << 10, 600, r));
+    return r.rate_per_sec;
+  };
+  const double r2 = rate(false);
+  const double r4 = rate(true);
+  const double drop = (r2 - r4) / r2 * 100.0;
+  EXPECT_GT(drop, 8.0);   // paper: ~20%
+  EXPECT_LT(drop, 45.0);
+}
+
+TEST(PaperShape, Fig8TcpTransportBurnsMoreCpuThanRdma) {
+  auto transport_cycles = [](core::VReadDaemon::Transport t) {
+    ClusterConfig cfg;
+    cfg.block_size = 8ULL << 20;
+    Cluster c(cfg);
+    c.add_host("host1");
+    c.add_host("host2");
+    c.add_vm("host1", "client");
+    c.create_namenode("client");
+    c.add_datanode("host2", "datanode2");
+    c.add_client("client");
+    c.preload_file("/data", 32ULL << 20, 9, {{"datanode2"}});
+    c.enable_vread(t);
+    c.drop_all_caches();
+    DfsIoResult r;
+    c.run_job(TestDfsIo::read(c, "client", "/data", 1 << 20, r));
+    sim::Cycles cycles = 0;
+    for (const char* h : {"host1", "host2"}) {
+      cycles += c.acct().group_total(h, metrics::CycleCategory::kRdma) +
+                c.acct().group_total(h, metrics::CycleCategory::kVreadNet);
+    }
+    return static_cast<double>(cycles);
+  };
+  EXPECT_GT(transport_cycles(core::VReadDaemon::Transport::kTcp),
+            10.0 * transport_cycles(core::VReadDaemon::Transport::kRdma));
+}
+
+TEST(PaperShape, Table2AllHBaseOpsImprove) {
+  auto run = [](bool vread) {
+    ClusterConfig cfg;
+    cfg.block_size = 8ULL << 20;
+    Cluster c(cfg);
+    c.add_host("host1");
+    c.add_host("host2");
+    c.add_vm("host1", "client");
+    c.create_namenode("client");
+    c.add_datanode("host1", "datanode1");
+    c.add_datanode("host2", "datanode2");
+    c.add_client("client");
+    apps::HdfsTable t = apps::create_table(c, "t", 12'000, 1024, 6'000, 31,
+                                           {{"datanode1"}, {"datanode2"}});
+    if (vread) c.enable_vread();
+    c.drop_all_caches();
+    apps::HBaseResult scan, seq, rnd;
+    c.run_job(apps::HBasePerfEval::scan(c, "client", t, scan));
+    c.drop_all_caches();
+    c.run_job(apps::HBasePerfEval::sequential_read(c, "client", t, 400, seq));
+    c.drop_all_caches();
+    c.run_job(apps::HBasePerfEval::random_read(c, "client", t, 400, 5, rnd));
+    return std::array<double, 3>{scan.mbps, seq.mbps, rnd.mbps};
+  };
+  auto vanilla = run(false);
+  auto vr = run(true);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(vr[static_cast<std::size_t>(i)], vanilla[static_cast<std::size_t>(i)])
+        << "op " << i;
+  }
+}
+
+TEST(PaperShape, Table3HiveImprovesMoreThanSqoop) {
+  auto run = [](bool vread) {
+    ClusterConfig cfg;
+    cfg.block_size = 8ULL << 20;
+    Cluster c(cfg);
+    c.add_host("host1");
+    c.add_host("host2");
+    c.add_host("host3");
+    c.add_vm("host1", "client");
+    c.create_namenode("client");
+    c.add_datanode("host1", "datanode1");
+    c.add_datanode("host2", "datanode2");
+    c.add_client("client");
+    c.add_vm("host3", "mysql");
+    apps::HdfsTable t =
+        apps::create_table(c, "t", 150'000, c.costs().hive_row_bytes, 75'000, 32,
+                           {{"datanode1"}, {"datanode2"}});
+    if (vread) c.enable_vread();
+    c.drop_all_caches();
+    apps::HiveResult hive;
+    c.run_job(apps::HiveQuery::select_range(c, "client", t, 0, 100, hive));
+    c.drop_all_caches();
+    apps::SqoopResult sqoop;
+    c.sim().spawn(apps::SqoopExport::mysql_server(c, "mysql", t.row_bytes, t.rows));
+    c.run_job(apps::SqoopExport::export_table(c, "client", t, "mysql", sqoop));
+    return std::pair{sim::to_seconds(hive.elapsed), sim::to_seconds(sqoop.elapsed)};
+  };
+  auto [hv, sv] = run(false);
+  auto [hr, sr] = run(true);
+  const double hive_red = (hv - hr) / hv * 100.0;
+  const double sqoop_red = (sv - sr) / sv * 100.0;
+  EXPECT_GT(hive_red, 10.0);   // paper -21.3%
+  EXPECT_GT(sqoop_red, 2.0);   // paper -11.3%
+  EXPECT_GT(hive_red, sqoop_red);  // the key relation
+}
+
+TEST(PaperShape, Fig2CachedInterVmGapIsLarge) {
+  ClusterConfig cfg;
+  cfg.block_size = 8ULL << 20;
+  Cluster c(cfg);
+  c.add_host("host1");
+  c.add_vm("host1", "client");
+  c.create_namenode("client");
+  c.add_datanode("host1", "datanode1");
+  c.add_client("client");
+  const std::uint64_t bytes = 24ULL << 20;
+  c.preload_file("/hdfs", bytes, 33, {{"datanode1"}});
+  c.vm("client")->fs().write_file("/localfile",
+                                  mem::Buffer::deterministic(34, 0, bytes));
+  // Warm everything.
+  DfsIoResult warm;
+  c.run_job(TestDfsIo::read(c, "client", "/hdfs", 1 << 20, warm));
+  auto local_read = [](Cluster* cl, std::uint64_t n, sim::SimTime* out) -> sim::Task {
+    virt::Vm* vm = cl->vm("client");
+    std::uint32_t ino = *vm->fs().lookup("/localfile");
+    const sim::SimTime t0 = cl->sim().now();
+    for (std::uint64_t off = 0; off < n; off += 1 << 20) {
+      mem::Buffer b;
+      co_await vm->fs_read(ino, off, 1 << 20, b, hw::CycleCategory::kClientApp);
+    }
+    *out = cl->sim().now() - t0;
+  };
+  sim::SimTime local_elapsed = 0;
+  c.run_job(local_read(&c, bytes, &local_elapsed));  // warm local pass
+  c.run_job(local_read(&c, bytes, &local_elapsed));  // measured warm
+  DfsIoResult hdfs;
+  c.run_job(TestDfsIo::read(c, "client", "/hdfs", 1 << 20, hdfs));
+  // Cached inter-VM HDFS is many times slower than a cached local read.
+  EXPECT_GT(sim::to_seconds(hdfs.elapsed), 4.0 * sim::to_seconds(local_elapsed));
+}
+
+}  // namespace
+}  // namespace vread

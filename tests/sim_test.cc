@@ -1,0 +1,352 @@
+// Unit tests for the discrete-event engine: event ordering, coroutine
+// tasks, synchronization primitives, and determinism.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace vread::sim {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(us(1), 1000);
+  EXPECT_EQ(ms(1), 1'000'000);
+  EXPECT_EQ(sec(1), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(sec(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_millis(ms(7)), 7.0);
+}
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.post_at(ms(30), [&] { order.push_back(3); });
+  sim.post_at(ms(10), [&] { order.push_back(1); });
+  sim.post_at(ms(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), ms(30));
+}
+
+TEST(Simulation, SameTimeEventsFireInPostOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.post_at(ms(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, PostIntoPastThrows) {
+  Simulation sim;
+  sim.post_at(ms(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.post_at(ms(5), [] {}), SimError);
+}
+
+TEST(Simulation, RunUntilStopsClockAtDeadline) {
+  Simulation sim;
+  bool fired = false;
+  sim.post_at(sec(10), [&] { fired = true; });
+  sim.run_until(sec(1));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.now(), sec(1));
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+Task delayer(Simulation& sim, std::vector<SimTime>& stamps) {
+  stamps.push_back(sim.now());
+  co_await sim.delay(ms(5));
+  stamps.push_back(sim.now());
+  co_await sim.delay(us(250));
+  stamps.push_back(sim.now());
+}
+
+TEST(Task, DelayAdvancesClock) {
+  Simulation sim;
+  std::vector<SimTime> stamps;
+  sim.spawn(delayer(sim, stamps));
+  sim.run();
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_EQ(stamps[0], 0);
+  EXPECT_EQ(stamps[1], ms(5));
+  EXPECT_EQ(stamps[2], ms(5) + us(250));
+}
+
+Task child_task(Simulation& sim, int& state) {
+  state = 1;
+  co_await sim.delay(ms(1));
+  state = 2;
+}
+
+Task parent_task(Simulation& sim, int& state, SimTime& done_at) {
+  co_await child_task(sim, state);
+  done_at = sim.now();
+}
+
+TEST(Task, AwaitingChildRunsToCompletion) {
+  Simulation sim;
+  int state = 0;
+  SimTime done_at = -1;
+  sim.spawn(parent_task(sim, state, done_at));
+  sim.run();
+  EXPECT_EQ(state, 2);
+  EXPECT_EQ(done_at, ms(1));
+}
+
+Task thrower(Simulation& sim) {
+  co_await sim.delay(ms(1));
+  throw std::runtime_error("boom");
+}
+
+Task catcher(Simulation& sim, bool& caught) {
+  try {
+    co_await thrower(sim);
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(Task, ExceptionPropagatesToAwaiter) {
+  Simulation sim;
+  bool caught = false;
+  sim.spawn(catcher(sim, caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Task, DetachedExceptionRethrownFromRun) {
+  Simulation sim;
+  sim.spawn(thrower(sim));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+Task waiter_proc(Simulation& sim, Event& ev, std::vector<std::pair<int, SimTime>>& log, int id) {
+  co_await ev.wait();
+  log.emplace_back(id, sim.now());
+}
+
+Task setter_proc(Simulation& sim, Event& ev) {
+  co_await sim.delay(ms(3));
+  ev.set();
+}
+
+TEST(Event, BroadcastReleasesAllWaitersFifo) {
+  Simulation sim;
+  Event ev(sim);
+  std::vector<std::pair<int, SimTime>> log;
+  sim.spawn(waiter_proc(sim, ev, log, 1));
+  sim.spawn(waiter_proc(sim, ev, log, 2));
+  sim.spawn(waiter_proc(sim, ev, log, 3));
+  sim.spawn(setter_proc(sim, ev));
+  sim.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].first, 1);
+  EXPECT_EQ(log[1].first, 2);
+  EXPECT_EQ(log[2].first, 3);
+  for (auto& [id, t] : log) EXPECT_EQ(t, ms(3));
+}
+
+TEST(Event, WaitOnSetEventCompletesImmediately) {
+  Simulation sim;
+  Event ev(sim);
+  ev.set();
+  std::vector<std::pair<int, SimTime>> log;
+  sim.spawn(waiter_proc(sim, ev, log, 7));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].second, 0);
+}
+
+Task producer(Simulation& sim, Mailbox<int>& mb, int count) {
+  for (int i = 0; i < count; ++i) {
+    co_await sim.delay(ms(1));
+    mb.send(i);
+  }
+}
+
+Task consumer(Simulation& sim, Mailbox<int>& mb, int count, std::vector<int>& got) {
+  (void)sim;
+  for (int i = 0; i < count; ++i) {
+    int v = co_await mb.recv();
+    got.push_back(v);
+  }
+}
+
+TEST(Mailbox, FifoDelivery) {
+  Simulation sim;
+  Mailbox<int> mb(sim);
+  std::vector<int> got;
+  sim.spawn(consumer(sim, mb, 5, got));
+  sim.spawn(producer(sim, mb, 5));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Mailbox, BufferedItemsReceivedWithoutBlocking) {
+  Simulation sim;
+  Mailbox<std::string> mb(sim);
+  mb.send("a");
+  mb.send("b");
+  EXPECT_EQ(mb.size(), 2u);
+  std::vector<std::string> got;
+  auto receiver = [](Mailbox<std::string>& box, std::vector<std::string>& out) -> Task {
+    out.push_back(co_await box.recv());
+    out.push_back(co_await box.recv());
+  };
+  sim.spawn(receiver(mb, got));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<std::string>{"a", "b"}));
+}
+
+Task sem_holder(Simulation& sim, Semaphore& sem, std::vector<int>& order, int id,
+                SimTime hold) {
+  co_await sem.acquire();
+  order.push_back(id);
+  co_await sim.delay(hold);
+  sem.release();
+}
+
+TEST(Semaphore, FifoNoBargin) {
+  Simulation sim;
+  Semaphore sem(sim, 1);
+  std::vector<int> order;
+  sim.spawn(sem_holder(sim, sem, order, 1, ms(10)));
+  sim.spawn(sem_holder(sim, sem, order, 2, ms(1)));
+  sim.spawn(sem_holder(sim, sem, order, 3, ms(1)));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Semaphore, MultiUnitAcquireWaitsForEnough) {
+  Simulation sim;
+  Semaphore sem(sim, 3);
+  EXPECT_TRUE(sem.try_acquire(2));
+  EXPECT_FALSE(sem.try_acquire(2));
+  EXPECT_EQ(sem.available(), 1u);
+  std::vector<int> order;
+  auto big = [](Semaphore& s, std::vector<int>& o) -> Task {
+    co_await s.acquire(3);
+    o.push_back(99);
+  };
+  sim.spawn(big(sem, order));
+  sim.run_until(ms(1));
+  EXPECT_TRUE(order.empty());
+  sem.release(2);
+  sim.run();
+  EXPECT_EQ(order, std::vector<int>{99});
+}
+
+Task latch_downer(Simulation& sim, Latch& latch, SimTime at) {
+  co_await sim.delay(at);
+  latch.count_down();
+}
+
+Task latch_waiter(Simulation& sim, Latch& latch, SimTime& done) {
+  co_await latch.wait();
+  done = sim.now();
+}
+
+TEST(Latch, WaitsForAllCountdowns) {
+  Simulation sim;
+  Latch latch(sim, 3);
+  SimTime done = -1;
+  sim.spawn(latch_waiter(sim, latch, done));
+  sim.spawn(latch_downer(sim, latch, ms(1)));
+  sim.spawn(latch_downer(sim, latch, ms(9)));
+  sim.spawn(latch_downer(sim, latch, ms(4)));
+  sim.run();
+  EXPECT_EQ(done, ms(9));
+}
+
+TEST(Latch, ZeroCountIsImmediatelyOpen) {
+  Simulation sim;
+  Latch latch(sim, 0);
+  SimTime done = -1;
+  sim.spawn(latch_waiter(sim, latch, done));
+  sim.run();
+  EXPECT_EQ(done, 0);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    std::uint64_t v = r.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+// Determinism property: a mixed workload of interacting processes produces
+// an identical event trace on repeated runs.
+Task det_worker(Simulation& sim, Mailbox<int>& mb, Semaphore& sem, Rng& rng,
+                std::vector<std::int64_t>& trace, int id) {
+  for (int i = 0; i < 20; ++i) {
+    co_await sim.delay(static_cast<SimTime>(rng.uniform(1, 1000)) * kMicrosecond);
+    co_await sem.acquire();
+    mb.send(id * 100 + i);
+    trace.push_back(sim.now() * 31 + id);
+    sem.release();
+  }
+}
+
+Task det_drain(Mailbox<int>& mb, std::vector<std::int64_t>& trace, int total) {
+  for (int i = 0; i < total; ++i) {
+    int v = co_await mb.recv();
+    trace.push_back(v);
+  }
+}
+
+std::vector<std::int64_t> run_det_workload(std::uint64_t seed) {
+  Simulation sim;
+  Mailbox<int> mb(sim);
+  Semaphore sem(sim, 2);
+  Rng rng(seed);
+  std::vector<Rng> rngs;
+  for (int i = 0; i < 4; ++i) rngs.push_back(rng.fork());
+  std::vector<std::int64_t> trace;
+  sim.spawn(det_drain(mb, trace, 80));
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn(det_worker(sim, mb, sem, rngs[static_cast<size_t>(i)], trace, i));
+  }
+  sim.run();
+  return trace;
+}
+
+TEST(Determinism, IdenticalSeedIdenticalTrace) {
+  auto t1 = run_det_workload(123);
+  auto t2 = run_det_workload(123);
+  EXPECT_EQ(t1, t2);
+  EXPECT_FALSE(t1.empty());
+}
+
+TEST(Determinism, DifferentSeedDifferentTrace) {
+  auto t1 = run_det_workload(123);
+  auto t2 = run_det_workload(456);
+  EXPECT_NE(t1, t2);
+}
+
+}  // namespace
+}  // namespace vread::sim

@@ -1,0 +1,171 @@
+// vreadsim — ad-hoc scenario driver for the vRead simulator.
+//
+// Builds the paper's Fig. 10 topology with the parameters you choose, runs
+// a TestDFSIO-style read (and optionally re-read), and prints throughput,
+// CPU time and — with --breakdown — the per-category CPU split of every
+// VM and host. Useful for exploring the design space beyond the canned
+// figure/table benches:
+//
+//   vreadsim                               # vanilla co-located baseline
+//   vreadsim --vread                       # the paper's system
+//   vreadsim --vread --scenario remote --transport tcp --freq 1.6
+//   vreadsim --vread --lookbusy 2 --reread --breakdown
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "apps/cluster.h"
+#include "apps/dfsio.h"
+#include "mem/buffer.h"
+#include "metrics/table.h"
+
+using namespace vread;
+
+namespace {
+
+struct Options {
+  bool vread = false;
+  bool reread = false;
+  bool breakdown = false;
+  std::string scenario = "colocated";  // colocated | remote | hybrid
+  std::string transport = "rdma";      // rdma | tcp
+  double freq_ghz = 2.0;
+  int lookbusy = 0;                    // background VMs per host
+  std::uint64_t file_mb = 64;
+  std::uint64_t block_mb = 16;
+  std::uint64_t buffer_kb = 1024;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --vread                enable the vRead stack (default: vanilla)\n"
+      << "  --transport rdma|tcp   remote daemon transport (default rdma)\n"
+      << "  --scenario S           colocated | remote | hybrid (default colocated)\n"
+      << "  --freq GHZ             CPU frequency (default 2.0)\n"
+      << "  --lookbusy N           85% lookbusy background VMs per host (default 0)\n"
+      << "  --file-mb N            dataset size (default 64)\n"
+      << "  --block-mb N           HDFS block size (default 16)\n"
+      << "  --buffer-kb N          read request size (default 1024)\n"
+      << "  --reread               also measure the cache-warm second pass\n"
+      << "  --breakdown            print per-group CPU category breakdown\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--vread") {
+      o.vread = true;
+    } else if (a == "--reread") {
+      o.reread = true;
+    } else if (a == "--breakdown") {
+      o.breakdown = true;
+    } else if (a == "--scenario") {
+      o.scenario = next();
+    } else if (a == "--transport") {
+      o.transport = next();
+    } else if (a == "--freq") {
+      o.freq_ghz = std::stod(next());
+    } else if (a == "--lookbusy") {
+      o.lookbusy = std::stoi(next());
+    } else if (a == "--file-mb") {
+      o.file_mb = std::stoull(next());
+    } else if (a == "--block-mb") {
+      o.block_mb = std::stoull(next());
+    } else if (a == "--buffer-kb") {
+      o.buffer_kb = std::stoull(next());
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (o.scenario != "colocated" && o.scenario != "remote" && o.scenario != "hybrid") {
+    usage(argv[0]);
+  }
+  if (o.transport != "rdma" && o.transport != "tcp") usage(argv[0]);
+  return o;
+}
+
+void print_breakdown(apps::Cluster& c, const apps::Cluster::Window& w) {
+  metrics::TablePrinter t({"group", "category", "CPU ms"});
+  for (const char* group : {"client", "datanode1", "datanode2", "host1", "host2"}) {
+    for (std::uint8_t i = 0; i < metrics::kNumCategories; ++i) {
+      const auto cat = static_cast<metrics::CycleCategory>(i);
+      const double ms = static_cast<double>(c.window_cycles(w, group, cat)) /
+                        (c.config().freq_ghz * 1e6);
+      if (ms >= 0.5) t.add_row({group, metrics::to_string(cat), metrics::fmt(ms, 1)});
+    }
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  apps::ClusterConfig cfg;
+  cfg.freq_ghz = o.freq_ghz;
+  cfg.block_size = o.block_mb << 20;
+  apps::Cluster c(cfg);
+  c.add_host("host1");
+  c.add_host("host2");
+  c.add_vm("host1", "client");
+  c.create_namenode("client");
+  c.add_datanode("host1", "datanode1");
+  c.add_datanode("host2", "datanode2");
+  c.add_client("client");
+  for (int i = 0; i < o.lookbusy; ++i) {
+    c.add_lookbusy("host1", "bg1-" + std::to_string(i), 0.85);
+    c.add_lookbusy("host2", "bg2-" + std::to_string(i), 0.85);
+  }
+
+  std::vector<std::vector<std::string>> placement;
+  if (o.scenario == "colocated") {
+    placement = {{"datanode1"}};
+  } else if (o.scenario == "remote") {
+    placement = {{"datanode2"}};
+  } else {
+    placement = {{"datanode1"}, {"datanode2"}};
+  }
+  c.preload_file("/data", o.file_mb << 20, /*seed=*/2026, placement);
+
+  if (o.vread) {
+    c.enable_vread(o.transport == "rdma" ? core::VReadDaemon::Transport::kRdma
+                                         : core::VReadDaemon::Transport::kTcp);
+  }
+  c.drop_all_caches();
+
+  std::cout << "scenario=" << o.scenario << " system=" << (o.vread ? "vRead" : "vanilla")
+            << " transport=" << o.transport << " freq=" << o.freq_ghz << "GHz"
+            << " lookbusy=" << o.lookbusy << " file=" << o.file_mb << "MB"
+            << " block=" << o.block_mb << "MB buffer=" << o.buffer_kb << "KB\n\n";
+
+  apps::Cluster::Window w = c.begin_window();
+  apps::DfsIoResult r;
+  c.run_job(apps::TestDfsIo::read(c, "client", "/data", o.buffer_kb << 10, r));
+  const std::uint64_t expected =
+      mem::Buffer::deterministic(2026, 0, o.file_mb << 20).checksum();
+  std::cout << "cold read:  " << metrics::fmt(r.throughput_mbps) << " MBps, client CPU "
+            << metrics::fmt(r.cpu_time_ms, 0) << " ms, content "
+            << (r.checksum == expected ? "verified" : "MISMATCH!") << "\n";
+  if (r.checksum != expected) return 1;
+
+  if (o.reread) {
+    apps::DfsIoResult r2;
+    c.run_job(apps::TestDfsIo::read(c, "client", "/data", o.buffer_kb << 10, r2));
+    std::cout << "re-read:    " << metrics::fmt(r2.throughput_mbps)
+              << " MBps, client CPU " << metrics::fmt(r2.cpu_time_ms, 0) << " ms\n";
+  }
+  if (o.breakdown) {
+    std::cout << "\nCPU breakdown over the whole run:\n";
+    print_breakdown(c, w);
+  }
+  return 0;
+}
