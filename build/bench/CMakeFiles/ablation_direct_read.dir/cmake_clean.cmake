@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_direct_read.dir/ablation_direct_read.cc.o"
+  "CMakeFiles/ablation_direct_read.dir/ablation_direct_read.cc.o.d"
+  "ablation_direct_read"
+  "ablation_direct_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_direct_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

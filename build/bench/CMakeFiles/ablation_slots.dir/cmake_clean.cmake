@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slots.dir/ablation_slots.cc.o"
+  "CMakeFiles/ablation_slots.dir/ablation_slots.cc.o.d"
+  "ablation_slots"
+  "ablation_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alternatives.dir/alternatives.cc.o"
+  "CMakeFiles/alternatives.dir/alternatives.cc.o.d"
+  "alternatives"
+  "alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_access_delay.dir/fig02_access_delay.cc.o"
+  "CMakeFiles/fig02_access_delay.dir/fig02_access_delay.cc.o.d"
+  "fig02_access_delay"
+  "fig02_access_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_access_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

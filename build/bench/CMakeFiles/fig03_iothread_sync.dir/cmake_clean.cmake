@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_iothread_sync.dir/fig03_iothread_sync.cc.o"
+  "CMakeFiles/fig03_iothread_sync.dir/fig03_iothread_sync.cc.o.d"
+  "fig03_iothread_sync"
+  "fig03_iothread_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_iothread_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_cpu_colocated.dir/fig06_cpu_colocated.cc.o"
+  "CMakeFiles/fig06_cpu_colocated.dir/fig06_cpu_colocated.cc.o.d"
+  "fig06_cpu_colocated"
+  "fig06_cpu_colocated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_cpu_colocated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

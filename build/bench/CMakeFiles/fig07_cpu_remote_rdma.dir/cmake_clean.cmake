@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cpu_remote_rdma.dir/fig07_cpu_remote_rdma.cc.o"
+  "CMakeFiles/fig07_cpu_remote_rdma.dir/fig07_cpu_remote_rdma.cc.o.d"
+  "fig07_cpu_remote_rdma"
+  "fig07_cpu_remote_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cpu_remote_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

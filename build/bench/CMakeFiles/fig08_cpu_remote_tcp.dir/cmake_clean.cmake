@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_cpu_remote_tcp.dir/fig08_cpu_remote_tcp.cc.o"
+  "CMakeFiles/fig08_cpu_remote_tcp.dir/fig08_cpu_remote_tcp.cc.o.d"
+  "fig08_cpu_remote_tcp"
+  "fig08_cpu_remote_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cpu_remote_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_read_delay.dir/fig09_read_delay.cc.o"
+  "CMakeFiles/fig09_read_delay.dir/fig09_read_delay.cc.o.d"
+  "fig09_read_delay"
+  "fig09_read_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_read_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_dfsio_throughput.dir/fig11_dfsio_throughput.cc.o"
+  "CMakeFiles/fig11_dfsio_throughput.dir/fig11_dfsio_throughput.cc.o.d"
+  "fig11_dfsio_throughput"
+  "fig11_dfsio_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_dfsio_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_dfsio_cputime.dir/fig12_dfsio_cputime.cc.o"
+  "CMakeFiles/fig12_dfsio_cputime.dir/fig12_dfsio_cputime.cc.o.d"
+  "fig12_dfsio_cputime"
+  "fig12_dfsio_cputime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dfsio_cputime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_write_throughput.dir/fig13_write_throughput.cc.o"
+  "CMakeFiles/fig13_write_throughput.dir/fig13_write_throughput.cc.o.d"
+  "fig13_write_throughput"
+  "fig13_write_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_write_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

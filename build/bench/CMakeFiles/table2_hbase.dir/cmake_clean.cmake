@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_hbase.dir/table2_hbase.cc.o"
+  "CMakeFiles/table2_hbase.dir/table2_hbase.cc.o.d"
+  "table2_hbase"
+  "table2_hbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_hbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

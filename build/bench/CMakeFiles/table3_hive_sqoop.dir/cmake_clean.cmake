@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_hive_sqoop.dir/table3_hive_sqoop.cc.o"
+  "CMakeFiles/table3_hive_sqoop.dir/table3_hive_sqoop.cc.o.d"
+  "table3_hive_sqoop"
+  "table3_hive_sqoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_hive_sqoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

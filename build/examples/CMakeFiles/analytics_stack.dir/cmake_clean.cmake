@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_stack.dir/analytics_stack.cpp.o"
+  "CMakeFiles/analytics_stack.dir/analytics_stack.cpp.o.d"
+  "analytics_stack"
+  "analytics_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

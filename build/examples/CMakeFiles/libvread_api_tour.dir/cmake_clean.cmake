@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libvread_api_tour.dir/libvread_api_tour.cpp.o"
+  "CMakeFiles/libvread_api_tour.dir/libvread_api_tour.cpp.o.d"
+  "libvread_api_tour"
+  "libvread_api_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libvread_api_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

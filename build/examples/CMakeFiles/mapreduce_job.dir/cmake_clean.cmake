@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_job.dir/mapreduce_job.cpp.o"
+  "CMakeFiles/mapreduce_job.dir/mapreduce_job.cpp.o.d"
+  "mapreduce_job"
+  "mapreduce_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

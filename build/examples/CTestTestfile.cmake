@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;10;vread_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_analytics_stack "/root/repo/build/examples/analytics_stack")
+set_tests_properties(example_analytics_stack PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;11;vread_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_elastic_cluster "/root/repo/build/examples/elastic_cluster")
+set_tests_properties(example_elastic_cluster PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;12;vread_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_libvread_api_tour "/root/repo/build/examples/libvread_api_tour")
+set_tests_properties(example_libvread_api_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;13;vread_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mapreduce_job "/root/repo/build/examples/mapreduce_job")
+set_tests_properties(example_mapreduce_job PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;14;vread_example;/root/repo/examples/CMakeLists.txt;0;")

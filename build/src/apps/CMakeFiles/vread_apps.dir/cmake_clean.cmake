@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vread_apps.dir/cluster.cc.o"
+  "CMakeFiles/vread_apps.dir/cluster.cc.o.d"
+  "CMakeFiles/vread_apps.dir/dfsio.cc.o"
+  "CMakeFiles/vread_apps.dir/dfsio.cc.o.d"
+  "CMakeFiles/vread_apps.dir/hbase.cc.o"
+  "CMakeFiles/vread_apps.dir/hbase.cc.o.d"
+  "CMakeFiles/vread_apps.dir/mapreduce.cc.o"
+  "CMakeFiles/vread_apps.dir/mapreduce.cc.o.d"
+  "libvread_apps.a"
+  "libvread_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vread_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

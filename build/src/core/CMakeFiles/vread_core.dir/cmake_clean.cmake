@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vread_core.dir/libvread.cc.o"
+  "CMakeFiles/vread_core.dir/libvread.cc.o.d"
+  "CMakeFiles/vread_core.dir/vread_daemon.cc.o"
+  "CMakeFiles/vread_core.dir/vread_daemon.cc.o.d"
+  "libvread_core.a"
+  "libvread_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vread_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

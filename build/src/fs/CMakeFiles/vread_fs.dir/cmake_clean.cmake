@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vread_fs.dir/loop_mount.cc.o"
+  "CMakeFiles/vread_fs.dir/loop_mount.cc.o.d"
+  "CMakeFiles/vread_fs.dir/simfs.cc.o"
+  "CMakeFiles/vread_fs.dir/simfs.cc.o.d"
+  "libvread_fs.a"
+  "libvread_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vread_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

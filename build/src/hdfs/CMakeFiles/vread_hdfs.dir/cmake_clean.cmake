@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vread_hdfs.dir/datanode.cc.o"
+  "CMakeFiles/vread_hdfs.dir/datanode.cc.o.d"
+  "CMakeFiles/vread_hdfs.dir/dfs_client.cc.o"
+  "CMakeFiles/vread_hdfs.dir/dfs_client.cc.o.d"
+  "CMakeFiles/vread_hdfs.dir/namenode.cc.o"
+  "CMakeFiles/vread_hdfs.dir/namenode.cc.o.d"
+  "libvread_hdfs.a"
+  "libvread_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vread_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

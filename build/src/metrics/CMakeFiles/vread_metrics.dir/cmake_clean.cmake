@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vread_metrics.dir/accounting.cc.o"
+  "CMakeFiles/vread_metrics.dir/accounting.cc.o.d"
+  "libvread_metrics.a"
+  "libvread_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vread_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

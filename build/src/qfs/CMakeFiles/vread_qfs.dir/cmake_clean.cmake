@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vread_qfs.dir/qfs.cc.o"
+  "CMakeFiles/vread_qfs.dir/qfs.cc.o.d"
+  "libvread_qfs.a"
+  "libvread_qfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vread_qfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vread_sim.dir/simulation.cc.o"
+  "CMakeFiles/vread_sim.dir/simulation.cc.o.d"
+  "libvread_sim.a"
+  "libvread_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vread_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vread_virt.dir/vm.cc.o"
+  "CMakeFiles/vread_virt.dir/vm.cc.o.d"
+  "CMakeFiles/vread_virt.dir/vnet.cc.o"
+  "CMakeFiles/vread_virt.dir/vnet.cc.o.d"
+  "libvread_virt.a"
+  "libvread_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vread_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

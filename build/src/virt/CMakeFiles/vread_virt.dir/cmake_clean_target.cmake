@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvread_virt.a"
+)

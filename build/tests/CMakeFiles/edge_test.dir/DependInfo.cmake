@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/edge_test.cc" "tests/CMakeFiles/edge_test.dir/edge_test.cc.o" "gcc" "tests/CMakeFiles/edge_test.dir/edge_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/vread_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vread_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/vread_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/vread_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/vread_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/vread_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vread_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

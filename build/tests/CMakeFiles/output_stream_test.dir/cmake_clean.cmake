@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/output_stream_test.dir/output_stream_test.cc.o"
+  "CMakeFiles/output_stream_test.dir/output_stream_test.cc.o.d"
+  "output_stream_test"
+  "output_stream_test.pdb"
+  "output_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/output_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

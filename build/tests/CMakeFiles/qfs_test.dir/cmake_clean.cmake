@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfs_test.dir/qfs_test.cc.o"
+  "CMakeFiles/qfs_test.dir/qfs_test.cc.o.d"
+  "qfs_test"
+  "qfs_test.pdb"
+  "qfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vread_test.dir/vread_test.cc.o"
+  "CMakeFiles/vread_test.dir/vread_test.cc.o.d"
+  "vread_test"
+  "vread_test.pdb"
+  "vread_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vreadsim.dir/vreadsim.cc.o"
+  "CMakeFiles/vreadsim.dir/vreadsim.cc.o.d"
+  "vreadsim"
+  "vreadsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vreadsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(vreadsim_vanilla "/root/repo/build/tools/vreadsim" "--file-mb" "16")
+set_tests_properties(vreadsim_vanilla PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(vreadsim_vread "/root/repo/build/tools/vreadsim" "--vread" "--scenario" "hybrid" "--reread" "--breakdown" "--file-mb" "16")
+set_tests_properties(vreadsim_vread PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
