@@ -21,10 +21,10 @@ struct Result {
 };
 
 Result run(bool direct) {
-  PaperSetup s = make_paper_setup(2.0, false, true, Scenario::kColocated, kBytes);
+  PaperSetup s = make_paper_setup(2.0, false, /*vread=*/false, Scenario::kColocated,
+                                  kBytes);
   Cluster& c = *s.cluster;
-  c.daemon("host1")->set_direct_read(direct);
-  c.daemon("host2")->set_direct_read(direct);
+  c.enable_vread(core::DaemonConfig{.direct_read = direct});
   c.drop_all_caches();
   Result r{};
   r.read = run_dfsio_read(c).throughput_mbps;

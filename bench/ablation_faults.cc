@@ -1,0 +1,99 @@
+// Ablation: read performance under fault load (a Fig. 9-style delta).
+//
+// Three runs over the same hybrid dataset: vanilla HDFS, healthy vRead,
+// and vRead under a deterministic fault schedule that exercises every
+// degradation path at once (lost shm requests, corrupt responses, a
+// daemon crash mid-workload, periodic stale dentry lookups, and a flaky
+// RDMA link). The point of the graceful-degradation contract is visible
+// in the numbers: the faulted run lands between vanilla and healthy vRead
+// instead of failing, every byte still checks out, and the fault/
+// degradation counter tables account for where the lost time went.
+#include <cstdint>
+#include <iostream>
+
+#include "common.h"
+#include "fault/fault.h"
+#include "metrics/fault_stats.h"
+
+namespace vread::bench {
+namespace {
+
+constexpr std::uint64_t kBytes = 96ULL * 1024 * 1024;
+constexpr std::uint64_t kSeed = 4242;
+
+// Every degradation path at once, deterministically (no probabilities, so
+// the bench is reproducible run to run).
+constexpr const char* kSchedule =
+    "virt.shm.timeout:every=29;"
+    "virt.shm.corrupt:every=31;"
+    "fs.loop.stale_lookup:every=23;"
+    "core.daemon.crash:after=60,max=1;"
+    "core.daemon.peer_down:every=1,max=2;"
+    "core.daemon.rdma_down:every=5";
+
+struct Run {
+  double mbps = 0;
+  bool bytes_ok = false;
+};
+
+Run run(bool vread, bool faults) {
+  fault::registry().reset();
+  if (faults) fault::registry().load_schedule(kSchedule);
+  PaperSetup s = make_paper_setup(2.0, false, vread, Scenario::kHybrid, kBytes);
+  Cluster& c = *s.cluster;
+  c.client("client")->set_vread_fallback_cooldown(sim::ms(5));
+  const sim::SimTime t0 = c.sim().now();
+  DfsIoResult r = run_dfsio_read(c);
+  Run out;
+  out.mbps = static_cast<double>(r.bytes) / 1e6 /
+             (sim::to_millis(c.sim().now() - t0) / 1e3);
+  out.bytes_ok = r.bytes == kBytes &&
+                 r.checksum == mem::Buffer::deterministic(kSeed, 0, kBytes).checksum();
+
+  if (faults && vread) {
+    metrics::DegradationCounters d;
+    d.daemon_restarts = c.daemon("host1")->restarts() + c.daemon("host2")->restarts();
+    d.daemon_remote_retries =
+        c.daemon("host1")->remote_retries() + c.daemon("host2")->remote_retries();
+    d.daemon_rdma_failovers =
+        c.daemon("host1")->rdma_failovers() + c.daemon("host2")->rdma_failovers();
+    d.daemon_refresh_failures =
+        c.daemon("host1")->refresh_failures() + c.daemon("host2")->refresh_failures();
+    d.client_retries = c.libvread("client")->retries();
+    d.client_fallback_reads = c.client("client")->vread_fallback_reads();
+    d.client_cooldowns = c.client("client")->vread_cooldowns();
+    d.client_reprobes = c.client("client")->vread_reprobes();
+    std::cout << "\nfault points hit during the faulted vRead run:\n";
+    metrics::fault_table().print();
+    std::cout << "\ndegradation accounting:\n";
+    metrics::degradation_table(d).print();
+  }
+  fault::registry().reset();
+  return out;
+}
+
+}  // namespace
+}  // namespace vread::bench
+
+int main() {
+  using namespace vread::bench;
+  vread::metrics::print_banner(
+      "Ablation: vRead under fault load",
+      "hybrid scenario, 2.0 GHz; deterministic fault schedule vs healthy");
+  Run vanilla = run(/*vread=*/false, /*faults=*/false);
+  Run healthy = run(/*vread=*/true, /*faults=*/false);
+  Run faulted = run(/*vread=*/true, /*faults=*/true);
+  std::cout << "\n";
+  vread::metrics::TablePrinter t({"configuration", "throughput (MBps)", "bytes"});
+  t.add_row({"vanilla HDFS", vread::metrics::fmt(vanilla.mbps),
+             vanilla.bytes_ok ? "ok" : "CORRUPT"});
+  t.add_row({"vRead, healthy", vread::metrics::fmt(healthy.mbps),
+             healthy.bytes_ok ? "ok" : "CORRUPT"});
+  t.add_row({"vRead, fault schedule", vread::metrics::fmt(faulted.mbps),
+             faulted.bytes_ok ? "ok" : "CORRUPT"});
+  t.print();
+  std::cout << "\nExpected shape: the faulted run loses throughput to retries, socket\n"
+               "fallbacks and cooldown windows but never correctness — degradation is\n"
+               "graceful, and the counter tables above show exactly where it went.\n";
+  return (vanilla.bytes_ok && healthy.bytes_ok && faulted.bytes_ok) ? 0 : 1;
+}

@@ -24,39 +24,39 @@ sim::Task tour(core::LibVread& lib, std::string block, std::uint64_t block_bytes
 
   // vRead_open: obtain a descriptor for (block, datanode).
   std::uint64_t vfd = 0;
-  co_await lib.vread_open(block, "datanode1", vfd);
-  check(vfd != 0, "vRead_open returns a descriptor for a visible block");
+  Status st;
+  co_await lib.vread_open(block, "datanode1", vfd, st);
+  check(st.ok() && vfd != 0, "vRead_open returns a descriptor for a visible block");
 
   // vRead_read: sequential reads advance the descriptor's offset.
   mem::Buffer first, second;
-  std::int64_t n = 0;
-  co_await lib.vread_read(vfd, 4096, first, n);
-  check(n == 4096, "vRead_read returns the requested bytes");
-  co_await lib.vread_read(vfd, 4096, second, n);
+  co_await lib.vread_read(vfd, 4096, first, st);
+  check(st.ok() && first.size() == 4096, "vRead_read returns the requested bytes");
+  co_await lib.vread_read(vfd, 4096, second, st);
   check(second == mem::Buffer::deterministic(21, 4096, 4096),
         "second read continues at the advanced offset");
 
   // vRead_seek: reposition, then read across to verify.
-  std::int64_t pos = 0;
-  co_await lib.vread_seek(vfd, block_bytes - 1000, pos);
-  check(pos == static_cast<std::int64_t>(block_bytes - 1000), "vRead_seek repositions");
+  co_await lib.vread_seek(vfd, block_bytes - 1000, st);
+  check(st.ok(), "vRead_seek repositions");
   mem::Buffer tail;
-  co_await lib.vread_read(vfd, 5000, tail, n);
-  check(n == 1000, "reads clamp at end of block");
+  co_await lib.vread_read(vfd, 5000, tail, st);
+  check(st.ok() && tail.size() == 1000, "reads clamp at end of block");
   check(tail == mem::Buffer::deterministic(21, block_bytes - 1000, 1000),
         "tail bytes are correct");
 
   // vRead_close: descriptor is gone afterwards.
-  int rc = -1;
-  co_await lib.vread_close(vfd, rc);
-  check(rc == 0, "vRead_close succeeds");
-  co_await lib.vread_read(vfd, 10, tail, n);
-  check(n == -1, "reading a closed descriptor fails");
+  co_await lib.vread_close(vfd, st);
+  check(st.ok(), "vRead_close succeeds");
+  co_await lib.vread_read(vfd, 10, tail, st);
+  check(st.code() == StatusCode::kBadFd && st.is_stale(),
+        "reading a closed descriptor reports BAD_FD (stale -> re-open)");
 
   // Unknown block: no descriptor — HDFS would fall back to its socket path.
   std::uint64_t bad = 1;
-  co_await lib.vread_open("blk_does_not_exist", "datanode1", bad);
-  check(bad == 0, "vRead_open fails for an invisible block (fallback signal)");
+  co_await lib.vread_open("blk_does_not_exist", "datanode1", bad, st);
+  check(!st.ok() && bad == 0 && !st.is_retryable(),
+        "vRead_open fails for an invisible block (fallback signal)");
 }
 
 }  // namespace

@@ -85,11 +85,10 @@ virt::Vm& Cluster::add_lookbusy(const std::string& host_name, const std::string&
   return vm;
 }
 
-void Cluster::enable_vread(core::VReadDaemon::Transport transport) {
+void Cluster::enable_vread(core::DaemonConfig config) {
   // One daemon per host.
   for (auto& h : hosts_) {
-    auto d = std::make_unique<core::VReadDaemon>(*h);
-    d->set_transport(transport);
+    auto d = std::make_unique<core::VReadDaemon>(*h, config);
     if (namenode_) d->subscribe(*namenode_);  // pure-QFS clusters have none
     daemons_[h->name()] = std::move(d);
   }

@@ -72,8 +72,12 @@ class Cluster {
   // Installs the vRead stack: one daemon per host, datanode registry
   // (local mounts / remote peers), namenode subscription, one libvread +
   // shared-memory channel per client. Call after topology and preload.
+  // Every daemon is constructed with the same DaemonConfig.
+  void enable_vread(core::DaemonConfig config);
   void enable_vread(core::VReadDaemon::Transport transport =
-                        core::VReadDaemon::Transport::kRdma);
+                        core::VReadDaemon::Transport::kRdma) {
+    enable_vread(core::DaemonConfig{.transport = transport});
+  }
   bool vread_enabled() const { return !daemons_.empty(); }
 
   // --- data management ---

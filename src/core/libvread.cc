@@ -7,12 +7,25 @@ using virt::ShmRequest;
 using virt::ShmResponse;
 
 sim::Task LibVread::call(ShmRequest req, ShmResponse& resp) {
-  req.id = next_req_++;
-  co_await channel_.call(std::move(req), resp);
+  for (int attempt = 1;; ++attempt) {
+    ShmRequest wire = req;
+    wire.id = next_req_++;
+    co_await channel_.call(std::move(wire), resp);
+    if (resp.status >= 0) co_return;
+    if (!Status::from_wire(resp.status).is_retryable()) co_return;
+    if (attempt >= retry_.max_attempts) {
+      ++retries_exhausted_;
+      co_return;
+    }
+    // Transient failure (timeout / corrupt payload / peer down): back off
+    // and re-issue under a fresh id — the original request is written off.
+    ++retries_;
+    co_await vm_.host().sim().delay(retry_.backoff_before(attempt + 1));
+  }
 }
 
 sim::Task LibVread::open(const std::string& block_name, const std::string& datanode_id,
-                         std::uint64_t& vfd, bool& ok) {
+                         std::uint64_t& vfd, Status& status) {
   // Library + JNI work for initializing the descriptor's data structures.
   co_await vm_.run_vcpu(vm_.host().costs().vread_open_guest, CycleCategory::kClientApp);
   ShmRequest req;
@@ -21,12 +34,12 @@ sim::Task LibVread::open(const std::string& block_name, const std::string& datan
   req.datanode_id = datanode_id;
   ShmResponse resp;
   co_await call(std::move(req), resp);
-  ok = resp.status == 0;
-  vfd = ok ? resp.vfd : 0;
+  status = Status::from_wire(resp.status, block_name + "@" + datanode_id);
+  vfd = status.ok() ? resp.vfd : 0;
 }
 
 sim::Task LibVread::read(std::uint64_t vfd, std::uint64_t offset, std::uint64_t len,
-                         mem::Buffer& out, std::int64_t& result) {
+                         mem::Buffer& out, Status& status) {
   ShmRequest req;
   req.op = static_cast<int>(VReadOp::kRead);
   req.vfd = vfd;
@@ -34,12 +47,12 @@ sim::Task LibVread::read(std::uint64_t vfd, std::uint64_t offset, std::uint64_t 
   req.len = len;
   ShmResponse resp;
   co_await call(std::move(req), resp);
-  if (resp.status < 0) {
-    result = -1;
+  status = Status::from_wire(resp.status);
+  if (!status.ok()) {
+    out = mem::Buffer();
     co_return;
   }
   out = std::move(resp.data);
-  result = static_cast<std::int64_t>(out.size());
 }
 
 sim::Task LibVread::close(std::uint64_t vfd) {
@@ -60,41 +73,41 @@ sim::Task LibVread::update(const std::string& datanode_id) {
 }
 
 sim::Task LibVread::vread_open(const std::string& block_name,
-                               const std::string& datanode_id, std::uint64_t& vfd) {
-  bool ok = false;
-  co_await open(block_name, datanode_id, vfd, ok);
-  if (ok) offsets_[vfd] = 0;
+                               const std::string& datanode_id, std::uint64_t& vfd,
+                               Status& status) {
+  co_await open(block_name, datanode_id, vfd, status);
+  if (status.ok()) offsets_[vfd] = 0;
 }
 
 sim::Task LibVread::vread_read(std::uint64_t vfd, std::uint64_t len, mem::Buffer& out,
-                               std::int64_t& result) {
+                               Status& status) {
   auto it = offsets_.find(vfd);
   if (it == offsets_.end()) {
-    result = -1;
+    status = Status(StatusCode::kBadFd, "vread_read");
     co_return;
   }
-  co_await read(vfd, it->second, len, out, result);
-  if (result > 0) it->second += static_cast<std::uint64_t>(result);
+  co_await read(vfd, it->second, len, out, status);
+  if (status.ok()) it->second += out.size();
 }
 
-sim::Task LibVread::vread_seek(std::uint64_t vfd, std::uint64_t offset,
-                               std::int64_t& result) {
+sim::Task LibVread::vread_seek(std::uint64_t vfd, std::uint64_t offset, Status& status) {
   auto it = offsets_.find(vfd);
   if (it == offsets_.end()) {
-    result = -1;
+    status = Status(StatusCode::kBadFd, "vread_seek");
     co_return;
   }
   it->second = offset;
-  result = static_cast<std::int64_t>(offset);
+  status = Status::Ok();
+  co_return;
 }
 
-sim::Task LibVread::vread_close(std::uint64_t vfd, int& result) {
+sim::Task LibVread::vread_close(std::uint64_t vfd, Status& status) {
   if (offsets_.count(vfd) == 0) {
-    result = -1;
+    status = Status(StatusCode::kBadFd, "vread_close");
     co_return;
   }
   co_await close(vfd);
-  result = 0;
+  status = Status::Ok();
 }
 
 }  // namespace vread::core

@@ -5,6 +5,13 @@
 // / vRead_close, plus vRead_update used by the write path), and implements
 // the hdfs::BlockReader seam so DfsInputStream's Algorithms 1-2 can use it
 // transparently. Guest applications above HDFS never see any of this.
+//
+// Every operation reports a typed vread::Status. The library owns the
+// transient-failure half of the degradation contract: when a call comes
+// back retryable (shm timeout, corrupt payload, peer down) it re-issues
+// the request under a fresh id with bounded exponential backoff before
+// surfacing the failure to the HDFS client, which then falls back to the
+// vanilla socket path.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +19,7 @@
 #include <unordered_map>
 
 #include "core/vread_daemon.h"
+#include "fault/status.h"
 #include "hdfs/block_reader.h"
 #include "virt/shm_channel.h"
 #include "virt/vm.h"
@@ -21,41 +29,53 @@ namespace vread::core {
 class LibVread : public hdfs::BlockReader {
  public:
   // Attaches the client VM to its host's daemon (allocates the ivshmem
-  // channel and the per-VM daemon worker).
-  LibVread(virt::Vm& client_vm, VReadDaemon& daemon)
-      : vm_(client_vm), channel_(daemon.attach_client(client_vm)) {}
+  // channel and the per-VM daemon worker). `retry` bounds how hard the
+  // library tries before reporting a retryable failure to its caller.
+  LibVread(virt::Vm& client_vm, VReadDaemon& daemon, RetryPolicy retry = {})
+      : vm_(client_vm), channel_(daemon.attach_client(client_vm)), retry_(retry) {}
 
   // ---- hdfs::BlockReader (offset-explicit, used by DFSClient) ----
   sim::Task open(const std::string& block_name, const std::string& datanode_id,
-                 std::uint64_t& vfd, bool& ok) override;
+                 std::uint64_t& vfd, Status& status) override;
   sim::Task read(std::uint64_t vfd, std::uint64_t offset, std::uint64_t len,
-                 mem::Buffer& out, std::int64_t& result) override;
+                 mem::Buffer& out, Status& status) override;
   sim::Task close(std::uint64_t vfd) override;
   sim::Task update(const std::string& datanode_id) override;
 
   // ---- Table 1 API (descriptor carries a file offset, like a POSIX fd) ----
-  // Returns the descriptor in `vfd` (0 on failure, matching "vRead
+  // Obtains the descriptor in `vfd` (0 on failure, matching "vRead
   // descriptor" semantics where HDFS falls back when none is obtained).
   sim::Task vread_open(const std::string& block_name, const std::string& datanode_id,
-                       std::uint64_t& vfd);
-  // Reads up to `len` bytes at the descriptor's current offset; `result`
-  // is the byte count read (or -1) and the offset advances by it.
+                       std::uint64_t& vfd, Status& status);
+  // Reads up to `len` bytes at the descriptor's current offset; on ok the
+  // bytes are in `out` and the offset advances by out.size().
   sim::Task vread_read(std::uint64_t vfd, std::uint64_t len, mem::Buffer& out,
-                       std::int64_t& result);
-  // Sets the descriptor's offset; `result` is the resulting offset.
-  sim::Task vread_seek(std::uint64_t vfd, std::uint64_t offset, std::int64_t& result);
-  // Returns 0 on success, -1 if the descriptor is unknown.
-  sim::Task vread_close(std::uint64_t vfd, int& result);
+                       Status& status);
+  // Sets the descriptor's offset (BAD_FD if the descriptor is unknown).
+  sim::Task vread_seek(std::uint64_t vfd, std::uint64_t offset, Status& status);
+  // Releases the descriptor (BAD_FD if unknown).
+  sim::Task vread_close(std::uint64_t vfd, Status& status);
 
   virt::Vm& vm() { return vm_; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  // Degradation counters: shm calls re-issued after a retryable failure,
+  // and calls that exhausted the retry budget without success.
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t retries_exhausted() const { return retries_exhausted_; }
 
  private:
+  // One shm round trip with the bounded-retry/backoff loop. Each retry is
+  // a brand-new request id — the original is considered lost.
   sim::Task call(virt::ShmRequest req, virt::ShmResponse& resp);
 
   virt::Vm& vm_;
   virt::ShmChannel& channel_;
+  RetryPolicy retry_;
   std::unordered_map<std::uint64_t, std::uint64_t> offsets_;  // vfd -> file offset
   std::uint64_t next_req_ = 1;
+  std::uint64_t retries_ = 0;
+  std::uint64_t retries_exhausted_ = 0;
 };
 
 }  // namespace vread::core

@@ -1,5 +1,6 @@
 #include "core/vread_daemon.h"
 
+#include "fault/fault.h"
 
 namespace vread::core {
 
@@ -17,8 +18,9 @@ std::uint64_t cache_key(const fs::DiskImage& image, std::uint32_t inode) {
 constexpr std::uint64_t kCtrlBytes = 96;
 }  // namespace
 
-VReadDaemon::VReadDaemon(virt::Host& host)
+VReadDaemon::VReadDaemon(virt::Host& host, DaemonConfig config)
     : host_(host),
+      config_(config),
       control_(std::make_unique<hw::WorkerThread>(host.sim(), host.cpu(),
                                                   "vread-ctl", host.name())) {}
 
@@ -64,11 +66,23 @@ void VReadDaemon::subscribe(hdfs::NameNode& nn) {
 
 virt::ShmChannel& VReadDaemon::attach_client(virt::Vm& client_vm) {
   auto port = std::make_unique<ClientPort>();
-  port->channel = std::make_unique<virt::ShmChannel>(client_vm, host_.costs());
+  port->channel = std::make_unique<virt::ShmChannel>(client_vm, host_.costs(),
+                                                     config_.shm_call_timeout);
   port->tid = host_.cpu().add_thread("vread-daemon-" + client_vm.name(), host_.name());
   clients_.push_back(std::move(port));
   host_.sim().spawn(serve(*clients_.back()));
   return *clients_.back()->channel;
+}
+
+VReadDaemon::Transport VReadDaemon::effective_transport() {
+  if (config_.transport == Transport::kRdma &&
+      fault::registry().should_fire(fault::points::kRdmaDown)) {
+    // RDMA link down: fail the operation over to the user-space TCP
+    // transport instead of failing the read.
+    ++rdma_failovers_;
+    return Transport::kTcp;
+  }
+  return config_.transport;
 }
 
 sim::Task VReadDaemon::serve(ClientPort& port) {
@@ -77,6 +91,10 @@ sim::Task VReadDaemon::serve(ClientPort& port) {
     ShmRequest req = co_await port.channel->requests().recv();
     // eventfd wakeup on the daemon side.
     co_await host_.cpu().consume(port.tid, cm.doorbell_host, CycleCategory::kInterrupt);
+    // Injected daemon crash: the process dies and is supervised back up
+    // before this request is picked off the ring. All descriptor state is
+    // gone; reads on pre-crash vfds answer BAD_FD below.
+    if (fault::registry().should_fire(fault::points::kDaemonCrash)) restart();
     co_await handle(port, std::move(req));
   }
 }
@@ -84,12 +102,11 @@ sim::Task VReadDaemon::serve(ClientPort& port) {
 sim::Task VReadDaemon::handle(ClientPort& port, ShmRequest req) {
   ShmResponse resp;
   resp.id = req.id;
-  bool zero_copy = false;
 
   switch (static_cast<VReadOp>(req.op)) {
     case VReadOp::kOpen: {
       std::uint64_t vfd = 0;
-      std::int64_t status = kVReadErrNoDatanode;
+      Status status(StatusCode::kNoDatanode, req.datanode_id);
       if (local_mounts_.count(req.datanode_id) != 0) {
         co_await local_open(port.tid, req.datanode_id, req.block_name, vfd, status);
       } else if (auto it = remote_peers_.find(req.datanode_id);
@@ -97,20 +114,20 @@ sim::Task VReadDaemon::handle(ClientPort& port, ShmRequest req) {
         std::uint64_t peer_vfd = 0;
         co_await remote_open(port.tid, it->second, req.datanode_id, req.block_name,
                              peer_vfd, status);
-        if (status == 0) {
+        if (status.ok()) {
           vfd = next_vfd_++;
-          Descriptor d;
-          d.dn_id = req.datanode_id;
-          d.block_name = req.block_name;
-          d.remote = true;
-          d.peer = it->second;
-          d.peer_vfd = peer_vfd;
-          descriptors_[vfd] = d;
+          auto d = std::make_shared<Descriptor>();
+          d->dn_id = req.datanode_id;
+          d->block_name = req.block_name;
+          d->remote = true;
+          d->peer = it->second;
+          d->peer_vfd = peer_vfd;
+          descriptors_[vfd] = std::move(d);
         }
       } else {
         ++failed_opens_;
       }
-      resp.status = status;
+      resp.status = status.to_wire();
       resp.vfd = vfd;
       break;
     }
@@ -120,27 +137,31 @@ sim::Task VReadDaemon::handle(ClientPort& port, ShmRequest req) {
         resp.status = kVReadErrBadFd;
         break;
       }
-      if (it->second.remote) {
-        co_await stream_remote_read(port, req, it->second);
+      // Hold a shared reference for the whole stream: a concurrent
+      // restart() clears the table but must not invalidate in-flight
+      // reads that already resolved their descriptor.
+      DescriptorPtr d = it->second;
+      if (d->remote) {
+        co_await stream_remote_read(port, req, *d);
       } else {
-        co_await stream_local_read(port, req, it->second);
+        co_await stream_local_read(port, req, *d);
       }
       co_return;  // responses already streamed into the ring
     }
     case VReadOp::kClose: {
       auto it = descriptors_.find(req.vfd);
       if (it != descriptors_.end()) {
-        if (it->second.remote) {
+        if (it->second->remote) {
           // Tell the peer to drop its descriptor (small control message).
-          VReadDaemon* peer = it->second.peer;
-          const std::uint64_t peer_vfd = it->second.peer_vfd;
+          VReadDaemon* peer = it->second->peer;
+          const std::uint64_t peer_vfd = it->second->peer_vfd;
           co_await host_.lan().transfer(host_.lan_id(), kCtrlBytes);
           peer->control_->submit([peer, peer_vfd]() -> sim::Task {
             peer->descriptors_.erase(peer_vfd);
             co_return;
           });
         }
-        descriptors_.erase(it);
+        descriptors_.erase(req.vfd);
       }
       resp.status = 0;
       break;
@@ -165,12 +186,12 @@ sim::Task VReadDaemon::handle(ClientPort& port, ShmRequest req) {
       break;
     }
   }
-  co_await port.channel->respond(port.tid, std::move(resp), /*charge_copy=*/!zero_copy);
+  co_await port.channel->respond(port.tid, std::move(resp));
 }
 
 sim::Task VReadDaemon::local_open(hw::ThreadId tid, const std::string& dn_id,
                                   const std::string& block_name, std::uint64_t& vfd,
-                                  std::int64_t& status) {
+                                  Status& status) {
   const hw::CostModel& cm = host_.costs();
   co_await host_.cpu().consume(tid, cm.vread_open_daemon, CycleCategory::kOther);
   const LocalMount& lm = local_mounts_.at(dn_id);
@@ -185,18 +206,18 @@ sim::Task VReadDaemon::local_open(hw::ThreadId tid, const std::string& dn_id,
     ino = mount.lookup(path);
   }
   if (!ino) {
-    status = kVReadErrNoBlock;
+    status = Status(StatusCode::kNoBlock, path);
     ++failed_opens_;
     co_return;
   }
   vfd = next_vfd_++;
-  Descriptor d;
-  d.dn_id = dn_id;
-  d.block_name = block_name;
-  d.inode = *ino;
-  d.mount = std::move(mount_ptr);
-  descriptors_[vfd] = d;
-  status = 0;
+  auto d = std::make_shared<Descriptor>();
+  d->dn_id = dn_id;
+  d->block_name = block_name;
+  d->inode = *ino;
+  d->mount = std::move(mount_ptr);
+  descriptors_[vfd] = std::move(d);
+  status = Status::Ok();
   ++opens_;
 }
 
@@ -264,18 +285,17 @@ sim::Task VReadDaemon::ensure_resident(hw::ThreadId tid, Descriptor& d,
 }
 
 sim::Task VReadDaemon::local_read(hw::ThreadId tid, Descriptor& d, std::uint64_t offset,
-                                  std::uint64_t len, mem::Buffer& out,
-                                  std::int64_t& status) {
+                                  std::uint64_t len, mem::Buffer& out, Status& status) {
   const hw::CostModel& cm = host_.costs();
   if (offset >= d.inode.size) {
     // The snapshot inode is shorter than the reader expects (stale mount):
     // force the client back to the vanilla path.
-    status = kVReadErrRange;
+    status = Status(StatusCode::kRange, d.block_name);
     co_return;
   }
   const std::uint64_t n = std::min(len, d.inode.size - offset);
 
-  if (direct_read_) {
+  if (config_.direct_read) {
     // §6 alternative: raw image access. Per-page address translation, and
     // no host page cache — every byte comes off the device.
     co_await host_.cpu().consume(
@@ -291,7 +311,7 @@ sim::Task VReadDaemon::local_read(hw::ThreadId tid, Descriptor& d, std::uint64_t
                                  CycleCategory::kLoopDevice);
   }
   out = d.mount->read(d.inode, offset, n);
-  status = static_cast<std::int64_t>(out.size());
+  status = Status::Ok();
   ++reads_;
   bytes_read_ += out.size();
 }
@@ -301,8 +321,16 @@ sim::Task VReadDaemon::local_refresh(hw::ThreadId tid, const std::string& dn_id)
   auto it = local_mounts_.find(dn_id);
   if (it == local_mounts_.end()) co_return;
   co_await host_.cpu().consume(tid, cm.mount_refresh, CycleCategory::kLoopDevice);
+  const bool was_stale = it->second.mount->stale();
   it->second.mount->refresh();
-  ++refreshes_;
+  if (was_stale && it->second.mount->stale()) {
+    // The remount/rescan itself failed (injected or real): the mount stays
+    // on its old snapshot; opens of fresh blocks keep missing and clients
+    // keep degrading to the socket path until a later refresh succeeds.
+    ++refresh_failures_;
+  } else {
+    ++refreshes_;
+  }
 }
 
 sim::Task VReadDaemon::run_on_control(std::function<sim::Task(hw::ThreadId)> job) {
@@ -317,43 +345,63 @@ sim::Task VReadDaemon::run_on_control(std::function<sim::Task(hw::ThreadId)> job
 sim::Task VReadDaemon::remote_open(hw::ThreadId tid, VReadDaemon* peer,
                                    const std::string& dn_id,
                                    const std::string& block_name,
-                                   std::uint64_t& peer_vfd, std::int64_t& status) {
+                                   std::uint64_t& peer_vfd, Status& status) {
   const hw::CostModel& cm = host_.costs();
-  // Request out: one WR (RDMA) or one user-space TCP message.
-  if (transport_ == Transport::kRdma) {
-    co_await host_.cpu().consume(tid, cm.rdma_post_wr, CycleCategory::kRdma);
-  } else {
-    co_await host_.cpu().consume(tid, cm.vreadnet_per_segment, CycleCategory::kVreadNet);
-  }
-  co_await host_.lan().transfer(host_.lan_id(), kCtrlBytes);
-
-  std::uint64_t vfd_out = 0;
-  std::int64_t status_out = kVReadErrNoDatanode;
-  VReadDaemon* self = this;
-  std::function<sim::Task(hw::ThreadId)> open_job =
-      [peer, self, dn_id, block_name, &vfd_out, &status_out](hw::ThreadId ptid) -> sim::Task {
-    const hw::CostModel& pcm = peer->host_.costs();
-    if (self->transport_ == Transport::kRdma) {
-      co_await peer->host_.cpu().consume(ptid, pcm.rdma_cqe, CycleCategory::kRdma);
+  const RetryPolicy& policy = config_.remote_retry;
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    const Transport transport = effective_transport();
+    // Request out: one WR (RDMA) or one user-space TCP message.
+    if (transport == Transport::kRdma) {
+      co_await host_.cpu().consume(tid, cm.rdma_post_wr, CycleCategory::kRdma);
     } else {
-      co_await peer->host_.cpu().consume(ptid, pcm.vreadnet_per_segment,
-                                         CycleCategory::kVreadNet);
+      co_await host_.cpu().consume(tid, cm.vreadnet_per_segment,
+                                   CycleCategory::kVreadNet);
     }
-    if (peer->local_mounts_.count(dn_id) != 0) {
-      co_await peer->local_open(ptid, dn_id, block_name, vfd_out, status_out);
-    }
-  };
-  co_await peer->run_on_control(std::move(open_job));
+    co_await host_.lan().transfer(host_.lan_id(), kCtrlBytes);
 
-  // Response back over the wire.
-  co_await host_.lan().transfer(peer->host_.lan_id(), kCtrlBytes);
-  if (transport_ == Transport::kRdma) {
-    co_await host_.cpu().consume(tid, cm.rdma_cqe, CycleCategory::kRdma);
-  } else {
-    co_await host_.cpu().consume(tid, cm.vreadnet_per_segment, CycleCategory::kVreadNet);
+    if (fault::registry().should_fire(fault::points::kPeerDown)) {
+      // The peer never answers. Back off and retry (bounded), then report
+      // PEER_DOWN so the client can degrade to the vanilla socket path.
+      if (attempt < policy.max_attempts) {
+        ++remote_retries_;
+        co_await host_.sim().delay(policy.backoff_before(attempt + 1));
+        continue;
+      }
+      status = Status(StatusCode::kPeerDown, dn_id);
+      ++failed_opens_;
+      co_return;
+    }
+
+    std::uint64_t vfd_out = 0;
+    Status status_out(StatusCode::kNoDatanode, dn_id);
+    std::function<sim::Task(hw::ThreadId)> open_job =
+        [peer, transport, dn_id, block_name, &vfd_out, &status_out](hw::ThreadId ptid)
+        -> sim::Task {
+      const hw::CostModel& pcm = peer->host_.costs();
+      if (transport == Transport::kRdma) {
+        co_await peer->host_.cpu().consume(ptid, pcm.rdma_cqe, CycleCategory::kRdma);
+      } else {
+        co_await peer->host_.cpu().consume(ptid, pcm.vreadnet_per_segment,
+                                           CycleCategory::kVreadNet);
+      }
+      if (peer->local_mounts_.count(dn_id) != 0) {
+        co_await peer->local_open(ptid, dn_id, block_name, vfd_out, status_out);
+      }
+    };
+    co_await peer->run_on_control(std::move(open_job));
+
+    // Response back over the wire.
+    co_await host_.lan().transfer(peer->host_.lan_id(), kCtrlBytes);
+    if (transport == Transport::kRdma) {
+      co_await host_.cpu().consume(tid, cm.rdma_cqe, CycleCategory::kRdma);
+    } else {
+      co_await host_.cpu().consume(tid, cm.vreadnet_per_segment,
+                                   CycleCategory::kVreadNet);
+    }
+    peer_vfd = vfd_out;
+    status = status_out;
+    co_return;
   }
-  peer_vfd = vfd_out;
-  status = status_out;
 }
 
 sim::Task VReadDaemon::stream_local_read(ClientPort& port, const virt::ShmRequest& req,
@@ -369,10 +417,12 @@ sim::Task VReadDaemon::stream_local_read(ClientPort& port, const virt::ShmReques
   while (off < end) {
     const std::uint64_t n = std::min(kStreamChunk, end - off);
     mem::Buffer buf;
-    std::int64_t status = 0;
+    Status status;
     co_await local_read(port.tid, d, off, n, buf, status);
+    const std::int64_t wire =
+        status.ok() ? static_cast<std::int64_t>(buf.size()) : status.to_wire();
     const bool last = off + n >= end;
-    co_await port.channel->respond_part(port.tid, req.id, status, req.vfd,
+    co_await port.channel->respond_part(port.tid, req.id, wire, req.vfd,
                                         std::move(buf), last);
     off += n;
   }
@@ -400,7 +450,7 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, const virt::ShmReque
   const hw::CostModel& cm = host_.costs();
   VReadDaemon* peer = d.peer;
   const std::uint64_t peer_vfd = d.peer_vfd;
-  const Transport transport = transport_;
+  const Transport transport = effective_transport();
 
   // Request out: one WR / one user-space TCP message.
   if (transport == Transport::kRdma) {
@@ -410,6 +460,14 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, const virt::ShmReque
                                  CycleCategory::kVreadNet);
   }
   co_await host_.lan().transfer(host_.lan_id(), kCtrlBytes);
+
+  if (fault::registry().should_fire(fault::points::kPeerDown)) {
+    // Peer unreachable mid-stream: report it so the guest library can
+    // retry (bounded) and ultimately degrade to the vanilla socket path.
+    co_await port.channel->respond_part(port.tid, req.id, kVReadErrPeerDown, req.vfd,
+                                        mem::Buffer(), /*last=*/true);
+    co_return;
+  }
 
   // The peer's daemon streams packet-sized chunks: it reads chunk i+1 from
   // its disk while chunk i is on the wire (active-push pipeline).
@@ -422,21 +480,23 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, const virt::ShmReque
       -> sim::Task {
     const hw::CostModel& pcm = peer->host_.costs();
     auto it = peer->descriptors_.find(peer_vfd);
-    if (it == peer->descriptors_.end() || offset >= it->second.inode.size) {
+    if (it == peer->descriptors_.end() || offset >= it->second->inode.size) {
       arrivals.send(RemoteChunk{mem::Buffer(),
                                 it == peer->descriptors_.end() ? kVReadErrBadFd
                                                                : kVReadErrRange,
                                 true});
       co_return;
     }
-    Descriptor& pd = it->second;
-    const std::uint64_t end = std::min(offset + len, pd.inode.size);
+    // Shared reference: a peer restart mid-stream must not invalidate the
+    // descriptor this coroutine is reading through.
+    DescriptorPtr pd = it->second;
+    const std::uint64_t end = std::min(offset + len, pd->inode.size);
     std::uint64_t off = offset;
     while (off < end) {
       const std::uint64_t n = std::min(kStreamChunk, end - off);
       mem::Buffer buf;
-      std::int64_t status = 0;
-      co_await peer->local_read(ptid, pd, off, n, buf, status);
+      Status status;
+      co_await peer->local_read(ptid, *pd, off, n, buf, status);
       if (transport == Transport::kRdma) {
         // Active push: the datanode-side daemon posts the RDMA write, so
         // its verb cost is higher than the client side's (paper Fig. 7).
@@ -449,10 +509,13 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, const virt::ShmReque
             ptid, pcm.vreadnet_per_segment * pcm.segments(n) + pcm.copy_cost(n),
             CycleCategory::kVreadNet);
       }
-      const bool last = off + n >= end;
+      const std::int64_t wire =
+          status.ok() ? static_cast<std::int64_t>(buf.size()) : status.to_wire();
+      const bool last = !status.ok() || off + n >= end;
       // NIC DMA rides asynchronously; the next disk read overlaps it.
       sim->spawn(remote_wire_hop(&peer->host_.lan(), peer->host_.lan_id(), n,
-                                 &arrivals, RemoteChunk{std::move(buf), status, last}));
+                                 &arrivals, RemoteChunk{std::move(buf), wire, last}));
+      if (!status.ok()) co_return;
       off += n;
     }
   };

@@ -19,6 +19,13 @@
 // write-once, so the only invalidation needed is a dentry/inode refresh of
 // the affected mount when the namenode reports a block create/delete/
 // rename (vRead_update), which this daemon subscribes to.
+//
+// Degradation behavior (this file's fault contract): daemon-to-daemon
+// operations retry with bounded exponential backoff when the peer is
+// unreachable; RDMA ops fail over to the TCP transport when the link is
+// down; a restart loses the descriptor table, and clients holding stale
+// vfds get BAD_FD on their next read and transparently re-open or fall
+// back — no data is ever lost, only the shortcut.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/status.h"
 #include "fs/loop_mount.h"
 #include "hdfs/namenode.h"
 #include "hw/worker.h"
@@ -43,21 +51,43 @@ enum class VReadOp : int {
   kUpdate = 4,
 };
 
-// Status codes (ShmResponse::status when negative).
-constexpr std::int64_t kVReadErrNoDatanode = -1;  // datanode unknown to the daemon
-constexpr std::int64_t kVReadErrNoBlock = -2;     // block not visible in the mount
-constexpr std::int64_t kVReadErrBadFd = -3;
-constexpr std::int64_t kVReadErrRange = -4;
+// Remote (daemon-to-daemon) transport.
+enum class Transport { kRdma, kTcp };
+
+// All daemon tuning in one aggregate, accepted at construction. Defaults
+// match the paper's chosen design: RDMA remote transport, reads through
+// the host file system (not direct image access).
+struct DaemonConfig {
+  Transport transport = Transport::kRdma;
+
+  // §6 "Direct Read Bypassing the File System in the Host": read the
+  // image's blocks directly instead of through the loop-mounted fs. No
+  // mount refreshes are needed, but every read pays guest-logical ->
+  // guest-physical -> host address translation per page and — crucially —
+  // loses the host file-system cache, so every byte comes off the device.
+  bool direct_read = false;
+
+  // Bounded retry with exponential backoff for daemon-to-daemon control
+  // operations when the remote peer does not answer.
+  RetryPolicy remote_retry{};
+
+  // How long an attached client's guest library waits on the shm ring
+  // before declaring a request lost (applied to channels at attach time).
+  sim::SimTime shm_call_timeout = sim::ms(5);
+};
 
 class VReadDaemon {
  public:
-  enum class Transport { kRdma, kTcp };
+  using Transport = core::Transport;  // call sites read VReadDaemon::Transport
 
-  explicit VReadDaemon(virt::Host& host);
+  explicit VReadDaemon(virt::Host& host, DaemonConfig config = {});
   VReadDaemon(const VReadDaemon&) = delete;
   VReadDaemon& operator=(const VReadDaemon&) = delete;
 
   virt::Host& host() { return host_; }
+  const DaemonConfig& config() const { return config_; }
+  Transport transport() const { return config_.transport; }
+  bool direct_read() const { return config_.direct_read; }
 
   // --- datanode registry (the daemon's hash table) ---
   // Local datanode VM: loop-mounts its disk image read-only. `dir` is the
@@ -82,23 +112,17 @@ class VReadDaemon {
   // the per-VM daemon worker that serves it.
   virt::ShmChannel& attach_client(virt::Vm& client_vm);
 
-  void set_transport(Transport t) { transport_ = t; }
-  Transport transport() const { return transport_; }
-
-  // §6 "Direct Read Bypassing the File System in the Host": read the
-  // image's blocks directly instead of through the loop-mounted fs. No
-  // mount refreshes are needed, but every read pays guest-logical ->
-  // guest-physical -> host address translation per page and — crucially —
-  // loses the host file-system cache, so every byte comes off the device.
-  // Off by default, matching the paper's chosen design.
-  void set_direct_read(bool on) { direct_read_ = on; }
-  bool direct_read() const { return direct_read_; }
-
   // Crash-recovery drill: a restarted daemon loses its descriptor table
   // (but keeps its registry, re-read from VM configuration at startup).
-  // Clients holding stale vfds get kVReadErrBadFd on their next read and
-  // transparently fall back / re-open — no data is ever lost.
-  void drop_all_descriptors() { descriptors_.clear(); }
+  // Clients holding stale vfds get BAD_FD on their next read and
+  // transparently fall back / re-open — no data is ever lost. In-flight
+  // streams drain through their shared descriptor references. The same
+  // restart fires spontaneously under the core.daemon.crash fault point.
+  void restart() {
+    descriptors_.clear();
+    ++restarts_;
+  }
+  void drop_all_descriptors() { restart(); }
   std::size_t open_descriptors() const { return descriptors_.size(); }
 
   // §6 "Compatibility with VM Migration": when a datanode VM moves to
@@ -117,6 +141,11 @@ class VReadDaemon {
   std::uint64_t refreshes() const { return refreshes_; }
   std::uint64_t failed_opens() const { return failed_opens_; }
   std::uint64_t remote_reads() const { return remote_reads_; }
+  // Degradation counters (see metrics/fault_stats.h).
+  std::uint64_t restarts() const { return restarts_; }
+  std::uint64_t remote_retries() const { return remote_retries_; }
+  std::uint64_t rdma_failovers() const { return rdma_failovers_; }
+  std::uint64_t refresh_failures() const { return refresh_failures_; }
 
  private:
   // Host-kernel readahead state for one open file (shared with in-flight
@@ -145,6 +174,9 @@ class VReadDaemon {
     std::uint64_t seq_pos = 0;
     std::shared_ptr<RaState> ra;
   };
+  // Descriptors are shared so a restart() (or migration) can drop the
+  // table while in-flight streams keep serving from their own reference.
+  using DescriptorPtr = std::shared_ptr<Descriptor>;
 
   struct ClientPort {
     std::unique_ptr<virt::ShmChannel> channel;
@@ -165,15 +197,19 @@ class VReadDaemon {
   // --- local operations (run on `tid`, a daemon-side thread) ---
   sim::Task local_open(hw::ThreadId tid, const std::string& dn_id,
                        const std::string& block_name, std::uint64_t& vfd,
-                       std::int64_t& status);
+                       Status& status);
   sim::Task local_read(hw::ThreadId tid, Descriptor& d, std::uint64_t offset,
-                       std::uint64_t len, mem::Buffer& out, std::int64_t& status);
+                       std::uint64_t len, mem::Buffer& out, Status& status);
   sim::Task local_refresh(hw::ThreadId tid, const std::string& dn_id);
 
   // --- remote (daemon-to-daemon) operations, called on a local worker ---
   sim::Task remote_open(hw::ThreadId tid, VReadDaemon* peer, const std::string& dn_id,
                         const std::string& block_name, std::uint64_t& peer_vfd,
-                        std::int64_t& status);
+                        Status& status);
+
+  // The transport a remote operation actually uses: the configured one,
+  // degraded to TCP when the RDMA-link-down fault point fires.
+  Transport effective_transport();
 
   // Runs `job` serialized on this daemon's control worker and waits.
   sim::Task run_on_control(std::function<sim::Task(hw::ThreadId)> job);
@@ -192,8 +228,7 @@ class VReadDaemon {
                            std::uint64_t key, std::uint64_t begin, std::uint64_t end);
 
   virt::Host& host_;
-  Transport transport_ = Transport::kRdma;
-  bool direct_read_ = false;
+  DaemonConfig config_;
   struct LocalMount {
     std::shared_ptr<fs::LoopMount> mount;
     std::string dir;  // where this store keeps its block/chunk files
@@ -203,7 +238,7 @@ class VReadDaemon {
   std::vector<std::unique_ptr<ClientPort>> clients_;
   // Control worker: mount refreshes + serving reads for remote peers.
   std::unique_ptr<hw::WorkerThread> control_;
-  std::map<std::uint64_t, Descriptor> descriptors_;
+  std::map<std::uint64_t, DescriptorPtr> descriptors_;
   std::uint64_t next_vfd_ = 1;
 
   std::uint64_t opens_ = 0;
@@ -212,6 +247,10 @@ class VReadDaemon {
   std::uint64_t refreshes_ = 0;
   std::uint64_t failed_opens_ = 0;
   std::uint64_t remote_reads_ = 0;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t remote_retries_ = 0;
+  std::uint64_t rdma_failovers_ = 0;
+  std::uint64_t refresh_failures_ = 0;
 };
 
 }  // namespace vread::core

@@ -1,0 +1,145 @@
+// Fault-injection registry for the vRead stack.
+//
+// Every layer the paper's degradation argument touches exposes *named
+// fault points* (see `points` below): loop-mount refresh failures and
+// stale-dentry windows in fs::LoopMount, request timeout/corruption on the
+// shared-memory ring in virt::ShmChannel, daemon restart (descriptor-table
+// loss), remote-peer unreachable and RDMA-link-down in core::VReadDaemon.
+// A fault point is a single `should_fire(name)` call on the code path; the
+// registry decides — deterministically (every Nth hit, after a warmup,
+// with a fire budget) or probabilistically from a seeded SplitMix64 stream
+// — whether the fault triggers, and counts both hits and fires so tests
+// and benches can assert observability.
+//
+// The registry is process-global (the simulator is single-threaded) and
+// deterministic: with nothing armed, should_fire() never touches the RNG,
+// so fault-free runs are byte-identical to builds without this subsystem.
+// A baseline schedule can be injected from the environment
+// (VREAD_FAULT_SCHEDULE, see load_schedule() for the grammar), which is
+// how CI runs the degradation suite under a deterministic fault load.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace vread::fault {
+
+// Well-known fault-point names. Layers fire these; tests arm them.
+namespace points {
+// fs::LoopMount::refresh() silently fails: the snapshot stays stale.
+inline constexpr const char* kMountRefreshFail = "fs.loop.refresh_fail";
+// fs::LoopMount::lookup() misses as if the dentry cache were mid-refresh.
+inline constexpr const char* kMountStaleLookup = "fs.loop.stale_lookup";
+// virt::ShmChannel::call(): the request is lost; the guest times out.
+inline constexpr const char* kShmTimeout = "virt.shm.timeout";
+// virt::ShmChannel::call(): the response fails validation on arrival.
+inline constexpr const char* kShmCorrupt = "virt.shm.corrupt";
+// core::VReadDaemon restarts before serving a request: the descriptor
+// table is lost (clients' vfds dangle -> kVReadErrBadFd on next use).
+inline constexpr const char* kDaemonCrash = "core.daemon.crash";
+// Daemon-to-daemon request: the remote peer is unreachable.
+inline constexpr const char* kPeerDown = "core.daemon.peer_down";
+// RDMA link down: remote ops fail over to the user-space TCP transport.
+inline constexpr const char* kRdmaDown = "core.daemon.rdma_down";
+}  // namespace points
+
+// How an armed fault point decides to trigger. Deterministic knobs win
+// over `probability` when both are set; armed with neither, every
+// eligible hit triggers (bounded only by `after`/`max_fires`).
+struct Spec {
+  // Probabilistic mode: trigger each hit with this probability (seeded,
+  // deterministic stream). Ignored when `every` is set.
+  double probability = 0.0;
+  // Deterministic mode: trigger on every Nth eligible hit (1 = always).
+  std::uint64_t every = 0;
+  // Skip the first `after` hits entirely (warmup window).
+  std::uint64_t after = 0;
+  // Stop triggering after this many fires (budgeted faults).
+  std::uint64_t max_fires = UINT64_MAX;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Arms (or re-arms) a fault point. Hit/fire counters are preserved.
+  void arm(const std::string& point, Spec spec);
+  void disarm(const std::string& point);
+  bool armed(const std::string& point) const;
+
+  // Disarms everything, zeroes all counters, reseeds the RNG, and
+  // re-applies the baseline schedule (VREAD_FAULT_SCHEDULE) if one was
+  // installed — i.e. returns the registry to its process-startup state.
+  void reset();
+
+  // The fault point itself: records a hit and reports whether the armed
+  // spec (if any) says the fault triggers now.
+  bool should_fire(const std::string& point);
+
+  std::uint64_t hits(const std::string& point) const;
+  std::uint64_t fires(const std::string& point) const;
+
+  struct Row {
+    std::string name;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+    bool armed = false;
+  };
+  // Every point ever hit or armed, sorted by name (for metrics tables).
+  std::vector<Row> rows() const;
+
+  // Parses and arms a schedule string. Grammar (whitespace-free):
+  //   schedule := entry (';' entry)*
+  //   entry    := point ':' knob (',' knob)*
+  //   knob     := 'p=' float | 'every=' N | 'after=' N | 'max=' N
+  // Example: "virt.shm.timeout:every=13;core.daemon.crash:after=50,max=1"
+  // Throws std::invalid_argument on malformed input.
+  void load_schedule(const std::string& schedule);
+
+  // Installs `schedule` as the baseline that reset() restores (empty
+  // string clears the baseline), then resets.
+  void set_baseline(const std::string& schedule);
+
+  void seed(std::uint64_t s) {
+    seed_ = s;
+    rng_ = sim::Rng(s);
+  }
+
+ private:
+  struct PointState {
+    Spec spec{};
+    bool armed = false;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+  PointState& state(const std::string& point) { return points_[point]; }
+
+  static constexpr std::uint64_t kDefaultSeed = 42;
+
+  std::map<std::string, PointState> points_;
+  std::uint64_t seed_ = kDefaultSeed;
+  sim::Rng rng_{kDefaultSeed};
+  std::string baseline_;
+};
+
+// The process-global registry. First use applies VREAD_FAULT_SCHEDULE (and
+// VREAD_FAULT_SEED) from the environment as the baseline.
+Registry& registry();
+
+// RAII arming for tests: arms on construction, restores the registry to
+// its baseline on destruction.
+class ScopedFault {
+ public:
+  ScopedFault(const std::string& point, Spec spec) { registry().arm(point, spec); }
+  ~ScopedFault() { registry().reset(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+}  // namespace vread::fault

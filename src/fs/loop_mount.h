@@ -15,6 +15,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "fault/fault.h"
 #include "fs/disk_image.h"
 #include "fs/simfs.h"
 
@@ -36,8 +37,13 @@ class LoopMount {
   }
 
   // Snapshot lookup: returns the inode *as of the last refresh*. A file
-  // appended since then reports its old size; a new file is absent.
+  // appended since then reports its old size; a new file is absent. The
+  // stale-dentry fault point models the window where a refresh is pending
+  // and the dentry cache misses on an entry that is really there.
   std::optional<Inode> lookup(const std::string& path) const {
+    if (fault::registry().should_fire(fault::points::kMountStaleLookup)) {
+      return std::nullopt;
+    }
     auto it = files_.find(path);
     if (it == files_.end()) return std::nullopt;
     return it->second;
@@ -52,6 +58,7 @@ class LoopMount {
 
   std::uint64_t snapshot_generation() const { return snapshot_.generation; }
   std::uint64_t refresh_count() const { return refresh_count_; }
+  std::uint64_t failed_refresh_count() const { return failed_refresh_count_; }
   std::size_t file_count() const { return files_.size(); }
   const DiskImagePtr& image() const { return image_; }
 
@@ -62,6 +69,7 @@ class LoopMount {
   Superblock snapshot_;
   std::unordered_map<std::string, Inode> files_;  // full path -> inode copy
   std::uint64_t refresh_count_ = 0;
+  std::uint64_t failed_refresh_count_ = 0;
 };
 
 }  // namespace vread::fs

@@ -4,12 +4,16 @@
 // re-implemented DFSClient read interfaces): when a reader is installed,
 // DfsInputStream::read1/read2 try it first and fall back to the vanilla
 // socket path whenever a descriptor cannot be obtained (Algorithms 1-2).
-// The interface mirrors the libvread API of Table 1.
+// The interface mirrors the libvread API of Table 1, with every outcome
+// reported as a typed vread::Status so callers can distinguish stale
+// descriptors (re-open immediately) from transient transport trouble
+// (bounded retry, then degrade with a cooldown) from hard misses.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "fault/status.h"
 #include "mem/buffer.h"
 #include "sim/task.h"
 
@@ -19,16 +23,18 @@ class BlockReader {
  public:
   virtual ~BlockReader() = default;
 
-  // vRead_open: obtains a descriptor for (block, datanode). `ok = false`
-  // means the shortcut is unavailable (unknown datanode, stale mount, ...)
-  // and the caller must fall back to the socket path.
+  // vRead_open: obtains a descriptor for (block, datanode). A non-ok
+  // status means the shortcut is unavailable (unknown datanode, stale
+  // mount, transport trouble, ...) and the caller must fall back to the
+  // socket path; `vfd` is 0 in that case.
   virtual sim::Task open(const std::string& block_name, const std::string& datanode_id,
-                         std::uint64_t& vfd, bool& ok) = 0;
+                         std::uint64_t& vfd, Status& status) = 0;
 
   // vRead_read: reads up to `len` bytes at `offset` of the block file.
-  // `result` is the byte count (or -1 on error -> fall back).
+  // On ok, `out` holds the bytes (possibly clamped at end of block); on
+  // failure `out` is empty and the status says why -> fall back.
   virtual sim::Task read(std::uint64_t vfd, std::uint64_t offset, std::uint64_t len,
-                         mem::Buffer& out, std::int64_t& result) = 0;
+                         mem::Buffer& out, Status& status) = 0;
 
   // vRead_close: releases the descriptor.
   virtual sim::Task close(std::uint64_t vfd) = 0;

@@ -275,32 +275,43 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
   BlockReader* reader = c.reader_;
   std::uint64_t vfd = 0;
   bool have_vfd = false;
+  bool vread_failed = false;
 
   if (reader != nullptr) {
     auto it = c.vfd_hash_.find(blk.name);
-    if (it == c.vfd_hash_.end()) {
-      bool ok = false;
-      co_await reader->open(blk.name, dn, vfd, ok);
-      if (ok) {
-        c.vfd_hash_.emplace(blk.name, vfd);
-        have_vfd = true;
-      }
-    } else {
+    if (it != c.vfd_hash_.end()) {
+      // Cached descriptors stay in use even during a cooldown — only new
+      // probes are suppressed.
       vfd = it->second;
       have_vfd = true;
+    } else if (c.vread_probe_allowed()) {
+      Status st;
+      co_await reader->open(blk.name, dn, vfd, st);
+      if (st.ok()) {
+        c.vfd_hash_.emplace(blk.name, vfd);
+        have_vfd = true;
+      } else {
+        // No descriptor obtained (registry miss, stale mount, transport
+        // trouble after the library's retries): degrade, and stop probing
+        // until the cooldown expires.
+        vread_failed = true;
+        c.enter_vread_cooldown();
+      }
+    } else {
+      ++c.vread_suppressed_;
     }
   }
 
   if (have_vfd) {
-    std::int64_t result = -1;
-    co_await reader->read(vfd, off, len, out, result);
-    if (result >= 0) {
+    Status st;
+    co_await reader->read(vfd, off, len, out, st);
+    if (st.ok()) {
       // Lean vRead-side client processing (no protocol framing/checksums).
       const hw::CostModel& cm = c.vm().host().costs();
       co_await c.vm().run_vcpu(
           cm.per_byte(out.size(), cm.client_hdfs_vread_cycles_per_byte),
           CycleCategory::kClientApp);
-      if (off + static_cast<std::uint64_t>(result) >= blk.size) {
+      if (off + out.size() >= blk.size) {
         // Block fully consumed: vRead_close + hash removal (Algorithm 1).
         co_await reader->close(vfd);
         c.vfd_hash_.erase(blk.name);
@@ -308,9 +319,14 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
       co_return;
     }
     // Shortcut failed mid-flight: drop the descriptor and fall through.
+    // Stale descriptors (daemon restarted, snapshot moved) re-open on the
+    // next read with no cooldown; anything else starts one.
     co_await reader->close(vfd);
     c.vfd_hash_.erase(blk.name);
+    vread_failed = true;
+    if (!st.is_stale()) c.enter_vread_cooldown();
   }
+  if (vread_failed) ++c.vread_fallback_reads_;
 
   // Original HDFS method, with replica failover: try the preferred
   // (co-located) replica first, then the others.

@@ -44,6 +44,22 @@ class DfsClient {
   void set_block_reader(BlockReader* reader) { reader_ = reader; }
   BlockReader* block_reader() { return reader_; }
 
+  // Degradation policy: after a vRead open failure or a read failure that
+  // exhausted the library's retries, the client stops probing the shortcut
+  // for this cooldown window — instead of paying a doomed daemon round
+  // trip on every read — and re-probes when it expires. Stale-descriptor
+  // failures (daemon restart, snapshot moved) do NOT start a cooldown: an
+  // immediate re-open is expected to succeed. Descriptors already cached
+  // keep being used during a cooldown.
+  void set_vread_fallback_cooldown(sim::SimTime t) { vread_fallback_cooldown_ = t; }
+  sim::SimTime vread_fallback_cooldown() const { return vread_fallback_cooldown_; }
+
+  // Degradation counters (see metrics/fault_stats.h).
+  std::uint64_t vread_fallback_reads() const { return vread_fallback_reads_; }
+  std::uint64_t vread_cooldowns() const { return vread_cooldowns_; }
+  std::uint64_t vread_reprobes() const { return vread_reprobes_; }
+  std::uint64_t vread_suppressed() const { return vread_suppressed_; }
+
   // HDFS Short-Circuit Local Reads (HDFS-2246/HDFS-347, the paper's §2.2
   // first alternative): when the client process runs in the SAME OS as the
   // datanode, read the block file directly from the local filesystem,
@@ -101,6 +117,21 @@ class DfsClient {
   sim::Task write_block(const std::string& path, std::vector<std::string> pipeline,
                         const mem::Buffer& data);
 
+  // Cooldown gate for NEW vRead opens (cached descriptors bypass it).
+  // Expiry counts as a re-probe.
+  bool vread_probe_allowed() {
+    if (fallback_until_ == 0) return true;
+    if (vm_.host().sim().now() < fallback_until_) return false;
+    fallback_until_ = 0;
+    ++vread_reprobes_;
+    return true;
+  }
+  void enter_vread_cooldown() {
+    if (vread_fallback_cooldown_ == 0) return;
+    fallback_until_ = vm_.host().sim().now() + vread_fallback_cooldown_;
+    ++vread_cooldowns_;
+  }
+
   // The libvread descriptor hash (block name -> vfd), shared by all
   // streams of this client as in the prototype's user-level library.
   std::unordered_map<std::string, std::uint64_t> vfd_hash_;
@@ -118,6 +149,14 @@ class DfsClient {
   virt::VirtualNetwork& net_;
   BlockReader* reader_ = nullptr;
   bool short_circuit_ = false;
+
+  // Degradation state + counters.
+  sim::SimTime fallback_until_ = 0;                     // 0 = shortcut healthy
+  sim::SimTime vread_fallback_cooldown_ = sim::ms(50);  // 0 disables cooldowns
+  std::uint64_t vread_fallback_reads_ = 0;  // reads served by sockets after a vRead failure
+  std::uint64_t vread_cooldowns_ = 0;       // times the client entered a cooldown
+  std::uint64_t vread_reprobes_ = 0;        // cooldown expiries that re-probed vRead
+  std::uint64_t vread_suppressed_ = 0;      // opens skipped during a cooldown
 };
 
 // Streaming writer for one HDFS file (the paper's DFSOutputStream, whose

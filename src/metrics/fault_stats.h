@@ -1,0 +1,53 @@
+// Metrics surface for the fault-injection / graceful-degradation
+// subsystem: renders the fault registry's per-point hit/fire counters and
+// the stack's degradation counters (daemon restarts, bounded retries,
+// RDMA->TCP failovers, client fallbacks/re-probes) as the same ASCII
+// tables every bench prints, so degraded-mode runs are as observable as
+// healthy ones (see bench/ablation_faults.cc).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fault/fault.h"
+#include "metrics/table.h"
+
+namespace vread::metrics {
+
+// One row per fault point ever hit or armed: name | hits | fires | armed.
+inline TablePrinter fault_table(const fault::Registry& r = fault::registry()) {
+  TablePrinter t({"fault point", "hits", "fires", "armed"});
+  for (const fault::Registry::Row& row : r.rows()) {
+    t.add_row({row.name, std::to_string(row.hits), std::to_string(row.fires),
+               row.armed ? "yes" : "no"});
+  }
+  return t;
+}
+
+// Degradation counters gathered from the stack (the daemon and DfsClient
+// expose these as accessors; callers aggregate into this struct).
+struct DegradationCounters {
+  std::uint64_t daemon_restarts = 0;         // descriptor tables lost
+  std::uint64_t daemon_remote_retries = 0;   // daemon-to-daemon retries
+  std::uint64_t daemon_rdma_failovers = 0;   // RDMA ops degraded to TCP
+  std::uint64_t daemon_refresh_failures = 0; // mount refreshes that failed
+  std::uint64_t client_retries = 0;          // libvread shm-call retries
+  std::uint64_t client_fallback_reads = 0;   // reads served via sockets
+  std::uint64_t client_cooldowns = 0;        // shortcut suspensions entered
+  std::uint64_t client_reprobes = 0;         // shortcut re-probes after cooldown
+};
+
+inline TablePrinter degradation_table(const DegradationCounters& c) {
+  TablePrinter t({"degradation counter", "value"});
+  t.add_row({"daemon restarts (descriptor loss)", std::to_string(c.daemon_restarts)})
+      .add_row({"daemon remote retries", std::to_string(c.daemon_remote_retries)})
+      .add_row({"daemon RDMA->TCP failovers", std::to_string(c.daemon_rdma_failovers)})
+      .add_row({"daemon refresh failures", std::to_string(c.daemon_refresh_failures)})
+      .add_row({"client shm-call retries", std::to_string(c.client_retries)})
+      .add_row({"client fallback reads", std::to_string(c.client_fallback_reads)})
+      .add_row({"client cooldowns entered", std::to_string(c.client_cooldowns)})
+      .add_row({"client shortcut re-probes", std::to_string(c.client_reprobes)});
+  return t;
+}
+
+}  // namespace vread::metrics

@@ -225,20 +225,20 @@ sim::Task QfsClient::read_chunk_range(const ChunkInfo& chunk, std::uint64_t off,
     std::uint64_t vfd = 0;
     auto it = vfd_hash_.find(chunk.name());
     if (it == vfd_hash_.end()) {
-      bool ok = false;
-      co_await reader_->open(chunk.name(), chunk.server, vfd, ok);
-      if (ok) vfd_hash_[chunk.name()] = vfd;
+      Status st;
+      co_await reader_->open(chunk.name(), chunk.server, vfd, st);
+      if (st.ok()) vfd_hash_[chunk.name()] = vfd;
     } else {
       vfd = it->second;
     }
     if (vfd != 0) {
-      std::int64_t result = -1;
-      co_await reader_->read(vfd, off, len, out, result);
-      if (result >= 0) {
+      Status st;
+      co_await reader_->read(vfd, off, len, out, st);
+      if (st.ok()) {
         co_await vm_.run_vcpu(
             cm.per_byte(out.size(), cm.client_hdfs_vread_cycles_per_byte),
             CycleCategory::kClientApp);
-        if (off + static_cast<std::uint64_t>(result) >= chunk.size) {
+        if (off + out.size() >= chunk.size) {
           co_await reader_->close(vfd);
           vfd_hash_.erase(chunk.name());
         }

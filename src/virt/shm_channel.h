@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/fault.h"
+#include "fault/status.h"
 #include "hw/cost_model.h"
 #include "mem/buffer.h"
 #include "sim/sync.h"
@@ -45,9 +47,14 @@ struct ShmResponse {
 
 class ShmChannel {
  public:
-  ShmChannel(Vm& guest, const hw::CostModel& cm)
+  // `call_timeout` bounds how long the guest waits for a response before
+  // declaring the request lost (kVReadErrTimeout on the wire) — the
+  // "daemon did not answer" half of the paper's fallback contract.
+  ShmChannel(Vm& guest, const hw::CostModel& cm,
+             sim::SimTime call_timeout = sim::ms(5))
       : guest_(guest),
         cm_(cm),
+        call_timeout_(call_timeout),
         requests_(guest.host().sim()),
         chunks_(guest.host().sim()),
         slots_(guest.host().sim(), cm.shm_slot_count),
@@ -64,6 +71,18 @@ class ShmChannel {
     co_await call_mutex_.acquire();
     // eventfd doorbell write, translated by the guest vRead driver.
     co_await guest_.run_vcpu(cm_.doorbell_guest, hw::CycleCategory::kInterrupt);
+    // Injected request loss: the doorbell fired but the daemon never saw
+    // the mailbox entry (daemon wedged, ring race). The guest burns the
+    // full timeout before reporting the shortcut unavailable.
+    if (fault::registry().should_fire(fault::points::kShmTimeout)) {
+      co_await guest_.host().sim().delay(call_timeout_);
+      out = ShmResponse{};
+      out.id = req.id;
+      out.status = kVReadErrTimeout;
+      ++timeouts_;
+      call_mutex_.release();
+      co_return;
+    }
     requests_.send(std::move(req));
     out = ShmResponse{};
     for (;;) {
@@ -85,6 +104,13 @@ class ShmChannel {
         co_await guest_.run_vcpu(cm_.interrupt_inject, hw::CycleCategory::kInterrupt);
       }
       if (c.last) break;
+    }
+    // Injected response corruption: the payload landed but fails the
+    // library's validation; callers treat it like any retryable failure.
+    if (fault::registry().should_fire(fault::points::kShmCorrupt)) {
+      out.data = mem::Buffer();
+      out.status = kVReadErrCorrupt;
+      ++corruptions_;
     }
     call_mutex_.release();
   }
@@ -137,6 +163,9 @@ class ShmChannel {
   }
 
   std::uint64_t free_slots() const { return slots_.available(); }
+  sim::SimTime call_timeout() const { return call_timeout_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t corruptions() const { return corruptions_; }
 
  private:
   struct Chunk {
@@ -156,6 +185,9 @@ class ShmChannel {
 
   Vm& guest_;
   const hw::CostModel& cm_;
+  sim::SimTime call_timeout_;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t corruptions_ = 0;
   sim::Mailbox<ShmRequest> requests_;
   sim::Mailbox<Chunk> chunks_;
   sim::Semaphore slots_;

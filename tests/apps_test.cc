@@ -250,8 +250,7 @@ TEST(Elastic, DirectReadModeCorrectButUncached) {
   Bed bed;
   Cluster& c = bed.cluster;
   c.preload_file("/dr", 8 * 1024 * 1024, 10, {{"datanode1"}});
-  c.enable_vread();
-  c.daemon("host1")->set_direct_read(true);
+  c.enable_vread(core::DaemonConfig{.direct_read = true});
   c.drop_all_caches();
   DfsIoResult r1, r2;
   c.run_job(TestDfsIo::read(c, "client", "/dr", 1 << 20, r1));

@@ -157,15 +157,14 @@ TEST(ShmOrdering, QueuedRequestsServeFifo) {
   auto proc = [](core::LibVread* l, std::string name,
                  std::vector<std::uint64_t>* out) -> sim::Task {
     std::uint64_t vfd = 0;
-    co_await l->vread_open(name, "datanode1", vfd);
+    Status st;
+    co_await l->vread_open(name, "datanode1", vfd, st);
     for (int i = 0; i < 16; ++i) {
       mem::Buffer b;
-      std::int64_t n = 0;
-      co_await l->vread_read(vfd, 64 << 10, b, n);
+      co_await l->vread_read(vfd, 64 << 10, b, st);
       out->push_back(b.checksum());
     }
-    int rc = 0;
-    co_await l->vread_close(vfd, rc);
+    co_await l->vread_close(vfd, st);
   };
   c.run_job(proc(lib, blk, &sums));
   for (int i = 0; i < 16; ++i) {

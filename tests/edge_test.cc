@@ -129,18 +129,22 @@ TEST(VReadEdge, ReadPastSnapshotSizeFailsCleanly) {
   c.enable_vread();
   const std::string blk = c.namenode().all_blocks("/f").front().name;
   core::LibVread* lib = c.libvread("client");
-  std::int64_t result = 0;
-  auto proc = [](core::LibVread* l, const std::string& name, std::int64_t* res) -> sim::Task {
+  vread::Status result;
+  auto proc = [](core::LibVread* l, const std::string& name,
+                 vread::Status* res) -> sim::Task {
     std::uint64_t vfd = 0;
-    bool ok = false;
-    co_await l->open(name, "datanode1", vfd, ok);
-    if (!ok) throw std::runtime_error("open failed");
+    vread::Status st;
+    co_await l->open(name, "datanode1", vfd, st);
+    if (!st.ok()) throw std::runtime_error("open failed");
     mem::Buffer out;
     co_await l->read(vfd, 2'000'000, 100, out, *res);  // past the snapshot
     co_await l->close(vfd);
   };
   c.run_job(proc(lib, blk, &result));
-  EXPECT_EQ(result, -1);  // kVReadErrRange -> HDFS would fall back
+  // RANGE is a stale-category failure -> HDFS falls back, no cooldown.
+  EXPECT_EQ(result.code(), vread::StatusCode::kRange);
+  EXPECT_TRUE(result.is_stale());
+  EXPECT_FALSE(result.is_retryable());
 }
 
 TEST(VReadEdge, FallbackAfterRangeErrorStillDeliversData) {
@@ -183,11 +187,11 @@ TEST(ShmEdge, ConcurrentCallersSerializeWithoutInterleaving) {
   auto reader = [](core::LibVread* l, std::string name, std::uint64_t off,
                    bool* flag) -> sim::Task {
     std::uint64_t vfd = 0;
-    bool ok = false;
-    co_await l->open(name, "datanode1", vfd, ok);
+    vread::Status st;
+    co_await l->open(name, "datanode1", vfd, st);
     for (int i = 0; i < 8; ++i) {
       mem::Buffer out;
-      std::int64_t res = 0;
+      vread::Status res;
       co_await l->read(vfd, off + static_cast<std::uint64_t>(i) * 10'000, 10'000, out,
                        res);
       if (out != Buffer::deterministic(8, off + static_cast<std::uint64_t>(i) * 10'000,

@@ -122,15 +122,16 @@ TEST(LibVreadErrors, SeekAndCloseOnUnknownDescriptor) {
   c.add_client("client");
   c.enable_vread();
   core::LibVread* lib = c.libvread("client");
-  std::int64_t seek_result = 0;
-  int close_result = 0;
-  auto proc = [](core::LibVread* l, std::int64_t* sr, int* cr) -> sim::Task {
+  Status seek_status;
+  Status close_status;
+  auto proc = [](core::LibVread* l, Status* sr, Status* cr) -> sim::Task {
     co_await l->vread_seek(999, 0, *sr);
     co_await l->vread_close(999, *cr);
   };
-  c.run_job(proc(lib, &seek_result, &close_result));
-  EXPECT_EQ(seek_result, -1);
-  EXPECT_EQ(close_result, -1);
+  c.run_job(proc(lib, &seek_status, &close_status));
+  EXPECT_EQ(seek_status.code(), StatusCode::kBadFd);
+  EXPECT_EQ(close_status.code(), StatusCode::kBadFd);
+  EXPECT_TRUE(seek_status.is_stale());
 }
 
 // --- MapReduce edges ---

@@ -219,24 +219,24 @@ TEST(VReadApi, Table1FunctionsWorkDirectly) {
       bed.cluster.namenode().all_blocks("/data").front().name;
 
   auto proc = [](LibVread& l, const std::string& name, Buffer& out1, Buffer& out2,
-                 std::int64_t& seek_result, int& close_result) -> sim::Task {
+                 vread::Status& seek_status, vread::Status& close_status) -> sim::Task {
     std::uint64_t vfd = 0;
-    co_await l.vread_open(name, "datanode1", vfd);
-    std::int64_t n = 0;
-    co_await l.vread_read(vfd, 1000, out1, n);          // offset 0..1000
-    co_await l.vread_seek(vfd, 500'000, seek_result);   // jump
-    co_await l.vread_read(vfd, 1000, out2, n);          // offset 500k..
-    co_await l.vread_close(vfd, close_result);
+    vread::Status st;
+    co_await l.vread_open(name, "datanode1", vfd, st);
+    co_await l.vread_read(vfd, 1000, out1, st);          // offset 0..1000
+    co_await l.vread_seek(vfd, 500'000, seek_status);    // jump
+    co_await l.vread_read(vfd, 1000, out2, st);          // offset 500k..
+    co_await l.vread_close(vfd, close_status);
   };
   Buffer a, b;
-  std::int64_t seek_result = -1;
-  int close_result = -1;
-  bed.cluster.sim().spawn(proc(*lib, blk, a, b, seek_result, close_result));
+  vread::Status seek_status(vread::StatusCode::kUnknown);
+  vread::Status close_status(vread::StatusCode::kUnknown);
+  bed.cluster.sim().spawn(proc(*lib, blk, a, b, seek_status, close_status));
   bed.cluster.sim().run();
   EXPECT_EQ(a, Buffer::deterministic(39, 0, 1000));
   EXPECT_EQ(b, Buffer::deterministic(39, 500'000, 1000));
-  EXPECT_EQ(seek_result, 500'000);
-  EXPECT_EQ(close_result, 0);
+  EXPECT_TRUE(seek_status.ok()) << seek_status.to_string();
+  EXPECT_TRUE(close_status.ok()) << close_status.to_string();
 }
 
 TEST(VReadApi, OpenUnknownBlockFails) {
@@ -244,7 +244,8 @@ TEST(VReadApi, OpenUnknownBlockFails) {
   bed.cluster.enable_vread();
   LibVread* lib = bed.cluster.libvread("client");
   auto proc = [](LibVread& l, std::uint64_t& vfd_out) -> sim::Task {
-    co_await l.vread_open("blk_99999", "datanode1", vfd_out);
+    vread::Status st;
+    co_await l.vread_open("blk_99999", "datanode1", vfd_out, st);
   };
   std::uint64_t vfd = 123;
   bed.cluster.sim().spawn(proc(*lib, vfd));
