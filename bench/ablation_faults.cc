@@ -36,12 +36,13 @@ struct Run {
   bool bytes_ok = false;
 };
 
-Run run(bool vread, bool faults) {
+Run run(bool vread, bool faults, bool traced = false) {
   fault::registry().reset();
   if (faults) fault::registry().load_schedule(kSchedule);
   PaperSetup s = make_paper_setup(2.0, false, vread, Scenario::kHybrid, kBytes);
   Cluster& c = *s.cluster;
   c.client("client")->set_vread_fallback_cooldown(sim::ms(5));
+  if (traced) trace::tracer().enable(c.sim());
   const sim::SimTime t0 = c.sim().now();
   DfsIoResult r = run_dfsio_read(c);
   Run out;
@@ -68,6 +69,9 @@ Run run(bool vread, bool faults) {
     std::cout << "\ndegradation accounting:\n";
     metrics::degradation_table(d).print();
   }
+  // The faulted trace shows the degradation machinery as events: retry
+  // instants, rdma->tcp and vread->socket fallback markers, per read.
+  if (traced) write_trace_artifacts(c, "ablation_faults.trace.json");
   fault::registry().reset();
   return out;
 }
@@ -75,14 +79,14 @@ Run run(bool vread, bool faults) {
 }  // namespace
 }  // namespace vread::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vread::bench;
   vread::metrics::print_banner(
       "Ablation: vRead under fault load",
       "hybrid scenario, 2.0 GHz; deterministic fault schedule vs healthy");
   Run vanilla = run(/*vread=*/false, /*faults=*/false);
   Run healthy = run(/*vread=*/true, /*faults=*/false);
-  Run faulted = run(/*vread=*/true, /*faults=*/true);
+  Run faulted = run(/*vread=*/true, /*faults=*/true, trace_requested(argc, argv));
   std::cout << "\n";
   vread::metrics::TablePrinter t({"configuration", "throughput (MBps)", "bytes"});
   t.add_row({"vanilla HDFS", vread::metrics::fmt(vanilla.mbps),

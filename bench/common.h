@@ -6,12 +6,17 @@
 // host is filled with 85 % lookbusy background VMs.
 #pragma once
 
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 
 #include "apps/cluster.h"
 #include "apps/dfsio.h"
 #include "metrics/table.h"
+#include "trace/aggregate.h"
+#include "trace/chrome_export.h"
+#include "trace/tracer.h"
 
 namespace vread::bench {
 
@@ -90,6 +95,33 @@ inline DfsIoResult run_dfsio_read(Cluster& c, std::uint64_t buffer = 1 << 20) {
   DfsIoResult r;
   c.run_job(TestDfsIo::read(c, "client", "/data", buffer, r));
   return r;
+}
+
+// True when the bench was invoked with --trace: the bench then re-runs one
+// bounded configuration with span tracing enabled and prints/writes the
+// per-read decomposition plus a Perfetto-loadable trace file.
+inline bool trace_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") return true;
+  }
+  return false;
+}
+
+// Prints the aggregated per-read tables for the enabled tracer, writes the
+// Chrome trace_event JSON to `file`, and disables tracing again.
+inline void write_trace_artifacts(Cluster& c, const std::string& file,
+                                  std::size_t max_rows = 8) {
+  auto& tr = trace::tracer();
+  const trace::RunSummary s = trace::aggregate(tr);
+  std::cout << "\n-- traced run: per-read decomposition (" << s.reads.size()
+            << " reads, " << tr.spans_recorded() << " spans) --\n";
+  trace::print_read_table(std::cout, s, max_rows);
+  trace::print_copy_sites(std::cout, s);
+  std::ofstream f(file);
+  trace::write_chrome_trace(f, tr, c.acct());
+  std::cout << "trace written to " << file
+            << " (load in Perfetto or chrome://tracing)\n";
+  tr.disable();
 }
 
 }  // namespace vread::bench

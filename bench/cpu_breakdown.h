@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "common.h"
+#include "trace/aggregate.h"
+#include "trace/tracer.h"
 
 namespace vread::bench {
 
@@ -109,6 +111,28 @@ inline CpuFigureResult run_cpu_breakdown(Scenario scenario, bool vread,
                                             : std::vector<std::string>{"datanode2"});
   }
   return r;
+}
+
+// Traced re-run of the same workload: prints the measured per-read span
+// decomposition (copy count, sync wait, disk/transport time) and the
+// copy-site table — Fig. 2's arrows and Fig. 3's delays, per actual read.
+inline void print_traced_decomposition(Scenario scenario, bool vread,
+                                       core::VReadDaemon::Transport transport) {
+  constexpr std::uint64_t kBytes = 64ULL * 1024 * 1024;
+  PaperSetup s = make_paper_setup(2.0, /*four_vms=*/false, vread, scenario, kBytes,
+                                  4242, transport);
+  Cluster& c = *s.cluster;
+  auto& tr = trace::tracer();
+  tr.clear();  // several decompositions run per process; don't mix spans
+  tr.enable(c.sim());
+  run_dfsio_read(c);
+  const trace::RunSummary sum = trace::aggregate(tr);
+  std::cout << "\n-- measured per-read decomposition ("
+            << (vread ? "vRead" : "vanilla") << ", " << to_string(scenario) << ", "
+            << sum.reads.size() << " reads) --\n";
+  trace::print_read_table(std::cout, sum, /*max_rows=*/4);
+  trace::print_copy_sites(std::cout, sum);
+  tr.disable();
 }
 
 inline void print_cpu_panels(const std::string& what, const CpuFigureResult& vr,

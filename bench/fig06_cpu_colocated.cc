@@ -16,7 +16,12 @@ int main() {
   CpuFigureResult vanilla =
       run_cpu_breakdown(Scenario::kColocated, false, vread::core::VReadDaemon::Transport::kRdma);
   print_cpu_panels("co-located read", vr, vanilla);
+  print_traced_decomposition(Scenario::kColocated, true,
+                             vread::core::VReadDaemon::Transport::kRdma);
+  print_traced_decomposition(Scenario::kColocated, false,
+                             vread::core::VReadDaemon::Transport::kRdma);
   std::cout << "\nPaper reference: ~40% client-side and ~65% datanode-side CPU savings;\n"
-               "vRead shows no vhost-net / virtio-vqueue work at all on this path.\n";
+               "vRead shows no vhost-net / virtio-vqueue work at all on this path;\n"
+               "the measured copy count is ~2 per byte for vRead vs ~5 for vanilla.\n";
   return 0;
 }

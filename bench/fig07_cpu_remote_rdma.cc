@@ -17,6 +17,8 @@ int main() {
   CpuFigureResult vanilla =
       run_cpu_breakdown(Scenario::kRemote, false, vread::core::VReadDaemon::Transport::kRdma);
   print_cpu_panels("remote read (RDMA)", vr, vanilla);
+  print_traced_decomposition(Scenario::kRemote, true,
+                             vread::core::VReadDaemon::Transport::kRdma);
   std::cout << "\nPaper reference: ~45% client-side and >50% datanode-side CPU savings;\n"
                "rdma << vhost-net, and the datanode side pays more rdma than the client\n"
                "(it actively pushes the payload).\n";

@@ -16,6 +16,8 @@ int main() {
   CpuFigureResult vanilla =
       run_cpu_breakdown(Scenario::kRemote, false, vread::core::VReadDaemon::Transport::kTcp);
   print_cpu_panels("remote read (TCP daemons)", vr, vanilla);
+  print_traced_decomposition(Scenario::kRemote, true,
+                             vread::core::VReadDaemon::Transport::kTcp);
   std::cout << "\nPaper reference: vRead-net costs more CPU per byte than vhost-net\n"
                "(user/kernel crossings), yet total utilization stays below vanilla\n"
                "because the datanode VM's whole stack is bypassed.\n";

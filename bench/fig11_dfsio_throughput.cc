@@ -78,7 +78,7 @@ void print_bars(Scenario scenario) {
 }  // namespace
 }  // namespace vread::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vread::bench;
   vread::metrics::print_banner("Figure 11", "HDFS read throughput (TestDFSIO), 128 MB scaled "
                                      "from the paper's 5 GB, 1 MB request buffer");
@@ -87,6 +87,13 @@ int main() {
   run_panel(Scenario::kHybrid);
   std::cout << "\n-- figure-style bars --\n";
   print_bars(Scenario::kColocated);
+  if (trace_requested(argc, argv)) {
+    // One bounded traced pass: the 2.0 GHz co-located vRead cold read.
+    PaperSetup s = make_paper_setup(2.0, false, true, Scenario::kColocated, kBytes);
+    vread::trace::tracer().enable(s.cluster->sim());
+    run_dfsio_read(*s.cluster);
+    write_trace_artifacts(*s.cluster, "fig11_dfsio.trace.json");
+  }
   std::cout << "\nPaper reference shapes: vRead > vanilla in every cell; gains grow as "
                "frequency drops\n(+20% @3.2GHz -> +41% @1.6GHz co-located read), grow "
                "with 4 VMs (up to +65%),\nand are largest for re-read (up to +150%).\n";

@@ -24,7 +24,7 @@ struct TableResults {
   double scan, seq, rand;
 };
 
-TableResults run(bool vread) {
+TableResults run(bool vread, bool traced = false) {
   PaperSetup s = make_paper_setup(2.0, /*four_vms=*/true, /*vread=*/false,
                                   Scenario::kHybrid, /*data_bytes=*/0);
   Cluster& c = *s.cluster;
@@ -36,8 +36,10 @@ TableResults run(bool vread) {
 
   TableResults r{};
   apps::HBaseResult res;
+  if (traced) trace::tracer().enable(c.sim());
   c.run_job(apps::HBasePerfEval::scan(c, "client", table, res));
   r.scan = res.mbps;
+  if (traced) write_trace_artifacts(c, "table2_hbase.trace.json");
   c.drop_all_caches();
   c.run_job(apps::HBasePerfEval::sequential_read(c, "client", table, kPointReads, res));
   r.seq = res.mbps;
@@ -50,13 +52,15 @@ TableResults run(bool vread) {
 }  // namespace
 }  // namespace vread::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vread::bench;
   vread::metrics::print_banner("Table 2",
                                "HBase PerformanceEvaluation (hybrid 4-VM setup, "
                                "2.0 GHz, 48k rows scaled from 5M)");
   TableResults vanilla = run(false);
-  TableResults vr = run(true);
+  // With --trace, the vRead scan pass is traced and its per-read
+  // decomposition + Perfetto JSON are emitted.
+  TableResults vr = run(true, trace_requested(argc, argv));
   vread::metrics::TablePrinter t(
       {"", "Scan", "SequentialRead", "RandomRead"});
   t.add_row({"Vanilla", vread::metrics::fmt(vanilla.scan, 2) + "MB/s",

@@ -6,7 +6,9 @@ using hw::CycleCategory;
 using virt::ShmRequest;
 using virt::ShmResponse;
 
-sim::Task LibVread::call(ShmRequest req, ShmResponse& resp) {
+sim::Task LibVread::call(ShmRequest req, ShmResponse& resp, trace::Ctx ctx) {
+  auto& tr = trace::tracer();
+  req.ctx = ctx;
   for (int attempt = 1;; ++attempt) {
     ShmRequest wire = req;
     wire.id = next_req_++;
@@ -20,39 +22,53 @@ sim::Task LibVread::call(ShmRequest req, ShmResponse& resp) {
     // Transient failure (timeout / corrupt payload / peer down): back off
     // and re-issue under a fresh id — the original request is written off.
     ++retries_;
+    tr.instant(ctx, trace::SpanKind::kRetry, "libvread-retry",
+               static_cast<int>(vm_.vcpu_tid()));
     co_await vm_.host().sim().delay(retry_.backoff_before(attempt + 1));
   }
 }
 
 sim::Task LibVread::open(const std::string& block_name, const std::string& datanode_id,
-                         std::uint64_t& vfd, Status& status) {
+                         std::uint64_t& vfd, Status& status, trace::Ctx ctx) {
+  auto& tr = trace::tracer();
+  const trace::SpanId sp =
+      tr.begin(ctx, trace::SpanKind::kStage, "vread-open", static_cast<int>(vm_.vcpu_tid()));
+  if (sp != 0) ctx = ctx.under(sp);
   // Library + JNI work for initializing the descriptor's data structures.
-  co_await vm_.run_vcpu(vm_.host().costs().vread_open_guest, CycleCategory::kClientApp);
+  co_await vm_.run_vcpu(vm_.host().costs().vread_open_guest, CycleCategory::kClientApp,
+                        ctx);
   ShmRequest req;
   req.op = static_cast<int>(VReadOp::kOpen);
   req.block_name = block_name;
   req.datanode_id = datanode_id;
   ShmResponse resp;
-  co_await call(std::move(req), resp);
+  co_await call(std::move(req), resp, ctx);
   status = Status::from_wire(resp.status, block_name + "@" + datanode_id);
   vfd = status.ok() ? resp.vfd : 0;
+  tr.end(sp);
 }
 
 sim::Task LibVread::read(std::uint64_t vfd, std::uint64_t offset, std::uint64_t len,
-                         mem::Buffer& out, Status& status) {
+                         mem::Buffer& out, Status& status, trace::Ctx ctx) {
+  auto& tr = trace::tracer();
+  const trace::SpanId sp =
+      tr.begin(ctx, trace::SpanKind::kStage, "vread-read", static_cast<int>(vm_.vcpu_tid()));
+  if (sp != 0) ctx = ctx.under(sp);
   ShmRequest req;
   req.op = static_cast<int>(VReadOp::kRead);
   req.vfd = vfd;
   req.offset = offset;
   req.len = len;
   ShmResponse resp;
-  co_await call(std::move(req), resp);
+  co_await call(std::move(req), resp, ctx);
   status = Status::from_wire(resp.status);
   if (!status.ok()) {
     out = mem::Buffer();
+    tr.end(sp);
     co_return;
   }
   out = std::move(resp.data);
+  tr.end(sp, out.size());
 }
 
 sim::Task LibVread::close(std::uint64_t vfd) {

@@ -36,9 +36,9 @@ class LibVread : public hdfs::BlockReader {
 
   // ---- hdfs::BlockReader (offset-explicit, used by DFSClient) ----
   sim::Task open(const std::string& block_name, const std::string& datanode_id,
-                 std::uint64_t& vfd, Status& status) override;
+                 std::uint64_t& vfd, Status& status, trace::Ctx ctx = {}) override;
   sim::Task read(std::uint64_t vfd, std::uint64_t offset, std::uint64_t len,
-                 mem::Buffer& out, Status& status) override;
+                 mem::Buffer& out, Status& status, trace::Ctx ctx = {}) override;
   sim::Task close(std::uint64_t vfd) override;
   sim::Task update(const std::string& datanode_id) override;
 
@@ -67,7 +67,7 @@ class LibVread : public hdfs::BlockReader {
  private:
   // One shm round trip with the bounded-retry/backoff loop. Each retry is
   // a brand-new request id — the original is considered lost.
-  sim::Task call(virt::ShmRequest req, virt::ShmResponse& resp);
+  sim::Task call(virt::ShmRequest req, virt::ShmResponse& resp, trace::Ctx ctx = {});
 
   virt::Vm& vm_;
   virt::ShmChannel& channel_;

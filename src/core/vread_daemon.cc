@@ -74,12 +74,14 @@ virt::ShmChannel& VReadDaemon::attach_client(virt::Vm& client_vm) {
   return *clients_.back()->channel;
 }
 
-VReadDaemon::Transport VReadDaemon::effective_transport() {
+VReadDaemon::Transport VReadDaemon::effective_transport(hw::ThreadId tid, trace::Ctx ctx) {
   if (config_.transport == Transport::kRdma &&
       fault::registry().should_fire(fault::points::kRdmaDown)) {
     // RDMA link down: fail the operation over to the user-space TCP
     // transport instead of failing the read.
     ++rdma_failovers_;
+    trace::tracer().instant(ctx, trace::SpanKind::kFallback, "rdma->tcp",
+                            static_cast<int>(tid));
     return Transport::kTcp;
   }
   return config_.transport;
@@ -90,7 +92,8 @@ sim::Task VReadDaemon::serve(ClientPort& port) {
   for (;;) {
     ShmRequest req = co_await port.channel->requests().recv();
     // eventfd wakeup on the daemon side.
-    co_await host_.cpu().consume(port.tid, cm.doorbell_host, CycleCategory::kInterrupt);
+    co_await host_.cpu().consume(port.tid, cm.doorbell_host, CycleCategory::kInterrupt,
+                                 req.ctx);
     // Injected daemon crash: the process dies and is supervised back up
     // before this request is picked off the ring. All descriptor state is
     // gone; reads on pre-crash vfds answer BAD_FD below.
@@ -102,18 +105,19 @@ sim::Task VReadDaemon::serve(ClientPort& port) {
 sim::Task VReadDaemon::handle(ClientPort& port, ShmRequest req) {
   ShmResponse resp;
   resp.id = req.id;
+  const trace::Ctx ctx = req.ctx;
 
   switch (static_cast<VReadOp>(req.op)) {
     case VReadOp::kOpen: {
       std::uint64_t vfd = 0;
       Status status(StatusCode::kNoDatanode, req.datanode_id);
       if (local_mounts_.count(req.datanode_id) != 0) {
-        co_await local_open(port.tid, req.datanode_id, req.block_name, vfd, status);
+        co_await local_open(port.tid, req.datanode_id, req.block_name, vfd, status, ctx);
       } else if (auto it = remote_peers_.find(req.datanode_id);
                  it != remote_peers_.end()) {
         std::uint64_t peer_vfd = 0;
         co_await remote_open(port.tid, it->second, req.datanode_id, req.block_name,
-                             peer_vfd, status);
+                             peer_vfd, status, ctx);
         if (status.ok()) {
           vfd = next_vfd_++;
           auto d = std::make_shared<Descriptor>();
@@ -186,14 +190,14 @@ sim::Task VReadDaemon::handle(ClientPort& port, ShmRequest req) {
       break;
     }
   }
-  co_await port.channel->respond(port.tid, std::move(resp));
+  co_await port.channel->respond(port.tid, std::move(resp), /*charge_copy=*/true, ctx);
 }
 
 sim::Task VReadDaemon::local_open(hw::ThreadId tid, const std::string& dn_id,
                                   const std::string& block_name, std::uint64_t& vfd,
-                                  Status& status) {
+                                  Status& status, trace::Ctx ctx) {
   const hw::CostModel& cm = host_.costs();
-  co_await host_.cpu().consume(tid, cm.vread_open_daemon, CycleCategory::kOther);
+  co_await host_.cpu().consume(tid, cm.vread_open_daemon, CycleCategory::kOther, ctx);
   const LocalMount& lm = local_mounts_.at(dn_id);
   std::shared_ptr<fs::LoopMount> mount_ptr = lm.mount;
   fs::LoopMount& mount = *mount_ptr;
@@ -223,15 +227,24 @@ sim::Task VReadDaemon::local_open(hw::ThreadId tid, const std::string& dn_id,
 
 sim::Task VReadDaemon::readahead_task(std::shared_ptr<RaState> ra,
                                       fs::DiskImagePtr image, std::uint64_t key,
-                                      std::uint64_t begin, std::uint64_t end) {
+                                      std::uint64_t begin, std::uint64_t end,
+                                      trace::Ctx ctx) {
   (void)image;
+  auto& tr = trace::tracer();
   // The window lands incrementally so a waiter needing only the first
   // pages resumes as soon as they arrive, not when the whole window does.
   std::uint64_t pos = begin;
   while (pos < end) {
     const std::uint64_t n = std::min(kStreamChunk, end - pos);
     const std::uint64_t missing = host_.page_cache().miss_bytes(key, pos, n);
-    if (missing > 0) co_await host_.disk().read(missing);
+    if (missing > 0) {
+      const sim::SimTime d0 = host_.sim().now();
+      co_await host_.disk().read(missing);
+      if (tr.enabled())
+        tr.record(ctx, trace::SpanKind::kDisk, "disk-read",
+                  tr.track(host_.name() + " disk", host_.name()), d0, host_.sim().now(),
+                  missing);
+    }
     host_.page_cache().fill(key, pos, n);
     pos += n;
     ra->done = std::max(ra->done, pos);
@@ -240,8 +253,10 @@ sim::Task VReadDaemon::readahead_task(std::shared_ptr<RaState> ra,
 }
 
 sim::Task VReadDaemon::ensure_resident(hw::ThreadId tid, Descriptor& d,
-                                       std::uint64_t offset, std::uint64_t n) {
+                                       std::uint64_t offset, std::uint64_t n,
+                                       trace::Ctx ctx) {
   const hw::CostModel& cm = host_.costs();
+  auto& tr = trace::tracer();
   const std::uint64_t key = cache_key(*d.mount->image(), d.inode.id);
   if (!d.ra) d.ra = std::make_shared<RaState>(host_.sim());
   RaState& ra = *d.ra;
@@ -250,7 +265,7 @@ sim::Task VReadDaemon::ensure_resident(hw::ThreadId tid, Descriptor& d,
 
   // Block-layer submit work for this request.
   co_await host_.cpu().consume(tid, cm.blk_per_request + cm.blk_per_page * cm.pages(n),
-                               CycleCategory::kDiskRead);
+                               CycleCategory::kDiskRead, ctx);
 
   if (sequential) {
     // Wait for an in-flight readahead window that covers us.
@@ -264,7 +279,14 @@ sim::Task VReadDaemon::ensure_resident(hw::ThreadId tid, Descriptor& d,
           std::min(d.inode.size, offset + std::max(n, kReadahead));
       const std::uint64_t missing =
           host_.page_cache().miss_bytes(key, offset, window_end - offset);
-      if (missing > 0) co_await host_.disk().read(missing);
+      if (missing > 0) {
+        const sim::SimTime d0 = host_.sim().now();
+        co_await host_.disk().read(missing);
+        if (tr.enabled())
+          tr.record(ctx, trace::SpanKind::kDisk, "disk-read",
+                    tr.track(host_.name() + " disk", host_.name()), d0, host_.sim().now(),
+                    missing);
+      }
       host_.page_cache().fill(key, offset, window_end - offset);
       ra.done = std::max(ra.done, window_end);
     }
@@ -273,20 +295,29 @@ sim::Task VReadDaemon::ensure_resident(hw::ThreadId tid, Descriptor& d,
         ra.inflight_end <= ra.done) {
       const std::uint64_t ra_end = std::min(d.inode.size, ra.done + kReadahead);
       ra.inflight_end = ra_end;
-      host_.sim().spawn(readahead_task(d.ra, d.mount->image(), key, ra.done, ra_end));
+      host_.sim().spawn(readahead_task(d.ra, d.mount->image(), key, ra.done, ra_end, ctx));
     }
   } else {
     // Random access: fetch exactly what was asked for.
     const std::uint64_t missing = host_.page_cache().miss_bytes(key, offset, n);
-    if (missing > 0) co_await host_.disk().read(missing);
+    if (missing > 0) {
+      const sim::SimTime d0 = host_.sim().now();
+      co_await host_.disk().read(missing);
+      if (tr.enabled())
+        tr.record(ctx, trace::SpanKind::kDisk, "disk-read",
+                  tr.track(host_.name() + " disk", host_.name()), d0, host_.sim().now(),
+                  missing);
+    }
     host_.page_cache().fill(key, offset, n);
   }
   d.seq_pos = end;
 }
 
 sim::Task VReadDaemon::local_read(hw::ThreadId tid, Descriptor& d, std::uint64_t offset,
-                                  std::uint64_t len, mem::Buffer& out, Status& status) {
+                                  std::uint64_t len, mem::Buffer& out, Status& status,
+                                  trace::Ctx ctx) {
   const hw::CostModel& cm = host_.costs();
+  auto& tr = trace::tracer();
   if (offset >= d.inode.size) {
     // The snapshot inode is shorter than the reader expects (stale mount):
     // force the client back to the vanilla path.
@@ -300,15 +331,21 @@ sim::Task VReadDaemon::local_read(hw::ThreadId tid, Descriptor& d, std::uint64_t
     // no host page cache — every byte comes off the device.
     co_await host_.cpu().consume(
         tid, cm.blk_per_request + cm.direct_translate_per_page * cm.pages(n),
-        CycleCategory::kLoopDevice);
+        CycleCategory::kLoopDevice, ctx);
+    const sim::SimTime d0 = host_.sim().now();
     co_await host_.disk().read(n);
-    co_await host_.cpu().consume(tid, cm.copy_cost(n), CycleCategory::kLoopDevice);
+    if (tr.enabled())
+      tr.record(ctx, trace::SpanKind::kDisk, "disk-read",
+                tr.track(host_.name() + " disk", host_.name()), d0, host_.sim().now(), n);
+    co_await host_.cpu().consume(tid, cm.copy_cost(n), CycleCategory::kLoopDevice, ctx);
   } else {
     // Host file-system read through the loop device (with readahead).
-    co_await ensure_resident(tid, d, offset, n);
-    // Loop-device traversal + the page-cache -> daemon-buffer copy.
+    co_await ensure_resident(tid, d, offset, n, ctx);
+    // Loop-device traversal + the page-cache -> daemon-buffer copy. Not a
+    // kCopy span: the paper's copy arithmetic counts only the two standing
+    // ring copies on the vRead path (see DESIGN.md §8).
     co_await host_.cpu().consume(tid, cm.loop_per_page * cm.pages(n) + cm.copy_cost(n),
-                                 CycleCategory::kLoopDevice);
+                                 CycleCategory::kLoopDevice, ctx);
   }
   out = d.mount->read(d.inode, offset, n);
   status = Status::Ok();
@@ -345,17 +382,19 @@ sim::Task VReadDaemon::run_on_control(std::function<sim::Task(hw::ThreadId)> job
 sim::Task VReadDaemon::remote_open(hw::ThreadId tid, VReadDaemon* peer,
                                    const std::string& dn_id,
                                    const std::string& block_name,
-                                   std::uint64_t& peer_vfd, Status& status) {
+                                   std::uint64_t& peer_vfd, Status& status,
+                                   trace::Ctx ctx) {
   const hw::CostModel& cm = host_.costs();
+  auto& tr = trace::tracer();
   const RetryPolicy& policy = config_.remote_retry;
   for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
-    const Transport transport = effective_transport();
+    const Transport transport = effective_transport(tid, ctx);
     // Request out: one WR (RDMA) or one user-space TCP message.
     if (transport == Transport::kRdma) {
-      co_await host_.cpu().consume(tid, cm.rdma_post_wr, CycleCategory::kRdma);
+      co_await host_.cpu().consume(tid, cm.rdma_post_wr, CycleCategory::kRdma, ctx);
     } else {
       co_await host_.cpu().consume(tid, cm.vreadnet_per_segment,
-                                   CycleCategory::kVreadNet);
+                                   CycleCategory::kVreadNet, ctx);
     }
     co_await host_.lan().transfer(host_.lan_id(), kCtrlBytes);
 
@@ -364,6 +403,7 @@ sim::Task VReadDaemon::remote_open(hw::ThreadId tid, VReadDaemon* peer,
       // PEER_DOWN so the client can degrade to the vanilla socket path.
       if (attempt < policy.max_attempts) {
         ++remote_retries_;
+        tr.instant(ctx, trace::SpanKind::kRetry, "peer-retry", static_cast<int>(tid));
         co_await host_.sim().delay(policy.backoff_before(attempt + 1));
         continue;
       }
@@ -375,17 +415,17 @@ sim::Task VReadDaemon::remote_open(hw::ThreadId tid, VReadDaemon* peer,
     std::uint64_t vfd_out = 0;
     Status status_out(StatusCode::kNoDatanode, dn_id);
     std::function<sim::Task(hw::ThreadId)> open_job =
-        [peer, transport, dn_id, block_name, &vfd_out, &status_out](hw::ThreadId ptid)
-        -> sim::Task {
+        [peer, transport, dn_id, block_name, &vfd_out, &status_out,
+         ctx](hw::ThreadId ptid) -> sim::Task {
       const hw::CostModel& pcm = peer->host_.costs();
       if (transport == Transport::kRdma) {
-        co_await peer->host_.cpu().consume(ptid, pcm.rdma_cqe, CycleCategory::kRdma);
+        co_await peer->host_.cpu().consume(ptid, pcm.rdma_cqe, CycleCategory::kRdma, ctx);
       } else {
         co_await peer->host_.cpu().consume(ptid, pcm.vreadnet_per_segment,
-                                           CycleCategory::kVreadNet);
+                                           CycleCategory::kVreadNet, ctx);
       }
       if (peer->local_mounts_.count(dn_id) != 0) {
-        co_await peer->local_open(ptid, dn_id, block_name, vfd_out, status_out);
+        co_await peer->local_open(ptid, dn_id, block_name, vfd_out, status_out, ctx);
       }
     };
     co_await peer->run_on_control(std::move(open_job));
@@ -393,10 +433,10 @@ sim::Task VReadDaemon::remote_open(hw::ThreadId tid, VReadDaemon* peer,
     // Response back over the wire.
     co_await host_.lan().transfer(peer->host_.lan_id(), kCtrlBytes);
     if (transport == Transport::kRdma) {
-      co_await host_.cpu().consume(tid, cm.rdma_cqe, CycleCategory::kRdma);
+      co_await host_.cpu().consume(tid, cm.rdma_cqe, CycleCategory::kRdma, ctx);
     } else {
       co_await host_.cpu().consume(tid, cm.vreadnet_per_segment,
-                                   CycleCategory::kVreadNet);
+                                   CycleCategory::kVreadNet, ctx);
     }
     peer_vfd = vfd_out;
     status = status_out;
@@ -406,10 +446,12 @@ sim::Task VReadDaemon::remote_open(hw::ThreadId tid, VReadDaemon* peer,
 
 sim::Task VReadDaemon::stream_local_read(ClientPort& port, const virt::ShmRequest& req,
                                          Descriptor& d) {
+  const trace::Ctx ctx = req.ctx;
   if (req.offset >= d.inode.size) {
     // Snapshot shorter than the reader expects: fall back to vanilla.
     co_await port.channel->respond_part(port.tid, req.id, kVReadErrRange, req.vfd,
-                                        mem::Buffer(), /*last=*/true);
+                                        mem::Buffer(), /*last=*/true,
+                                        /*charge_copy=*/true, ctx);
     co_return;
   }
   const std::uint64_t end = std::min(req.offset + req.len, d.inode.size);
@@ -418,12 +460,12 @@ sim::Task VReadDaemon::stream_local_read(ClientPort& port, const virt::ShmReques
     const std::uint64_t n = std::min(kStreamChunk, end - off);
     mem::Buffer buf;
     Status status;
-    co_await local_read(port.tid, d, off, n, buf, status);
+    co_await local_read(port.tid, d, off, n, buf, status, ctx);
     const std::int64_t wire =
         status.ok() ? static_cast<std::int64_t>(buf.size()) : status.to_wire();
     const bool last = off + n >= end;
     co_await port.channel->respond_part(port.tid, req.id, wire, req.vfd,
-                                        std::move(buf), last);
+                                        std::move(buf), last, /*charge_copy=*/true, ctx);
     off += n;
   }
 }
@@ -437,10 +479,17 @@ struct RemoteChunk {
 };
 
 // Wire hop for one chunk: the RoCE NIC DMAs the payload; arrival is
-// signalled through the receiving daemon's mailbox.
-sim::Task remote_wire_hop(hw::Lan* lan, hw::HostId src, std::uint64_t bytes,
-                          sim::Mailbox<RemoteChunk>* arrivals, RemoteChunk chunk) {
+// signalled through the receiving daemon's mailbox. `wire_name` labels the
+// transport span ("rdma-wire" / "vread-net-wire").
+sim::Task remote_wire_hop(sim::Simulation* sim, hw::Lan* lan, hw::HostId src,
+                          std::uint64_t bytes, sim::Mailbox<RemoteChunk>* arrivals,
+                          RemoteChunk chunk, const char* wire_name, trace::Ctx ctx) {
+  auto& tr = trace::tracer();
+  const sim::SimTime t0 = sim->now();
   co_await lan->transfer(src, bytes);
+  if (tr.enabled())
+    tr.record(ctx, trace::SpanKind::kTransport, wire_name,
+              tr.track("lan-wire", "lan"), t0, sim->now(), bytes);
   arrivals->send(std::move(chunk));
 }
 }  // namespace
@@ -448,16 +497,18 @@ sim::Task remote_wire_hop(hw::Lan* lan, hw::HostId src, std::uint64_t bytes,
 sim::Task VReadDaemon::stream_remote_read(ClientPort& port, const virt::ShmRequest& req,
                                           Descriptor& d) {
   const hw::CostModel& cm = host_.costs();
+  const trace::Ctx ctx = req.ctx;
   VReadDaemon* peer = d.peer;
   const std::uint64_t peer_vfd = d.peer_vfd;
-  const Transport transport = effective_transport();
+  const Transport transport = effective_transport(port.tid, ctx);
+  const char* wire_name = transport == Transport::kRdma ? "rdma-wire" : "vread-net-wire";
 
   // Request out: one WR / one user-space TCP message.
   if (transport == Transport::kRdma) {
-    co_await host_.cpu().consume(port.tid, cm.rdma_post_wr, CycleCategory::kRdma);
+    co_await host_.cpu().consume(port.tid, cm.rdma_post_wr, CycleCategory::kRdma, ctx);
   } else {
     co_await host_.cpu().consume(port.tid, cm.vreadnet_per_segment,
-                                 CycleCategory::kVreadNet);
+                                 CycleCategory::kVreadNet, ctx);
   }
   co_await host_.lan().transfer(host_.lan_id(), kCtrlBytes);
 
@@ -465,7 +516,8 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, const virt::ShmReque
     // Peer unreachable mid-stream: report it so the guest library can
     // retry (bounded) and ultimately degrade to the vanilla socket path.
     co_await port.channel->respond_part(port.tid, req.id, kVReadErrPeerDown, req.vfd,
-                                        mem::Buffer(), /*last=*/true);
+                                        mem::Buffer(), /*last=*/true,
+                                        /*charge_copy=*/true, ctx);
     co_return;
   }
 
@@ -476,9 +528,10 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, const virt::ShmReque
   const std::uint64_t len = req.len;
   sim::Simulation* sim = &host_.sim();
   std::function<sim::Task(hw::ThreadId)> stream_job =
-      [peer, peer_vfd, offset, len, transport, &arrivals, sim](hw::ThreadId ptid)
-      -> sim::Task {
+      [peer, peer_vfd, offset, len, transport, &arrivals, sim, wire_name,
+       ctx](hw::ThreadId ptid) -> sim::Task {
     const hw::CostModel& pcm = peer->host_.costs();
+    auto& tr = trace::tracer();
     auto it = peer->descriptors_.find(peer_vfd);
     if (it == peer->descriptors_.end() || offset >= it->second->inode.size) {
       arrivals.send(RemoteChunk{mem::Buffer(),
@@ -496,25 +549,30 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, const virt::ShmReque
       const std::uint64_t n = std::min(kStreamChunk, end - off);
       mem::Buffer buf;
       Status status;
-      co_await peer->local_read(ptid, *pd, off, n, buf, status);
+      co_await peer->local_read(ptid, *pd, off, n, buf, status, ctx);
       if (transport == Transport::kRdma) {
         // Active push: the datanode-side daemon posts the RDMA write, so
         // its verb cost is higher than the client side's (paper Fig. 7).
         co_await peer->host_.cpu().consume(
             ptid, pcm.rdma_post_wr + pcm.per_byte(n, pcm.rdma_cycles_per_byte),
-            CycleCategory::kRdma);
+            CycleCategory::kRdma, ctx);
       } else {
-        // User-space TCP: per-segment syscalls plus a send-side copy.
+        // User-space TCP: per-segment syscalls plus a send-side copy. The
+        // send copy is a real data copy on the vread-net path — record it.
+        const trace::SpanId sp = tr.begin(ctx, trace::SpanKind::kCopy,
+                                          "copy vread-net-tx", static_cast<int>(ptid));
         co_await peer->host_.cpu().consume(
             ptid, pcm.vreadnet_per_segment * pcm.segments(n) + pcm.copy_cost(n),
-            CycleCategory::kVreadNet);
+            CycleCategory::kVreadNet, ctx);
+        tr.end(sp, n);
       }
       const std::int64_t wire =
           status.ok() ? static_cast<std::int64_t>(buf.size()) : status.to_wire();
       const bool last = !status.ok() || off + n >= end;
       // NIC DMA rides asynchronously; the next disk read overlaps it.
-      sim->spawn(remote_wire_hop(&peer->host_.lan(), peer->host_.lan_id(), n,
-                                 &arrivals, RemoteChunk{std::move(buf), wire, last}));
+      sim->spawn(remote_wire_hop(sim, &peer->host_.lan(), peer->host_.lan_id(), n,
+                                 &arrivals, RemoteChunk{std::move(buf), wire, last},
+                                 wire_name, ctx));
       if (!status.ok()) co_return;
       off += n;
     }
@@ -525,27 +583,34 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, const virt::ShmReque
     co_await stream_job(peer->control_->tid());
   });
 
+  auto& tr = trace::tracer();
   for (;;) {
     RemoteChunk chunk = co_await arrivals.recv();
     if (chunk.status < 0) {
       co_await port.channel->respond_part(port.tid, req.id, chunk.status, req.vfd,
-                                          mem::Buffer(), /*last=*/true);
+                                          mem::Buffer(), /*last=*/true,
+                                          /*charge_copy=*/true, ctx);
       co_return;
     }
     const std::uint64_t n = chunk.data.size();
     bool zero_copy = false;
     if (transport == Transport::kRdma) {
       // One CQE; the payload already sits in the registered ring memory.
-      co_await host_.cpu().consume(port.tid, cm.rdma_cqe, CycleCategory::kRdma);
+      co_await host_.cpu().consume(port.tid, cm.rdma_cqe, CycleCategory::kRdma, ctx);
       zero_copy = true;
     } else {
+      // Receive-side copy out of the user-space TCP stream.
+      const trace::SpanId sp = tr.begin(ctx, trace::SpanKind::kCopy,
+                                        "copy vread-net-rx",
+                                        static_cast<int>(port.tid));
       co_await host_.cpu().consume(
           port.tid, cm.vreadnet_per_segment * cm.segments(n) + cm.copy_cost(n),
-          CycleCategory::kVreadNet);
+          CycleCategory::kVreadNet, ctx);
+      tr.end(sp, n);
     }
     const bool last = chunk.last;
     co_await port.channel->respond_part(port.tid, req.id, chunk.status, req.vfd,
-                                        std::move(chunk.data), last, !zero_copy);
+                                        std::move(chunk.data), last, !zero_copy, ctx);
     if (last) break;
   }
   ++remote_reads_;

@@ -197,19 +197,21 @@ class VReadDaemon {
   // --- local operations (run on `tid`, a daemon-side thread) ---
   sim::Task local_open(hw::ThreadId tid, const std::string& dn_id,
                        const std::string& block_name, std::uint64_t& vfd,
-                       Status& status);
+                       Status& status, trace::Ctx ctx = {});
   sim::Task local_read(hw::ThreadId tid, Descriptor& d, std::uint64_t offset,
-                       std::uint64_t len, mem::Buffer& out, Status& status);
+                       std::uint64_t len, mem::Buffer& out, Status& status,
+                       trace::Ctx ctx = {});
   sim::Task local_refresh(hw::ThreadId tid, const std::string& dn_id);
 
   // --- remote (daemon-to-daemon) operations, called on a local worker ---
   sim::Task remote_open(hw::ThreadId tid, VReadDaemon* peer, const std::string& dn_id,
                         const std::string& block_name, std::uint64_t& peer_vfd,
-                        Status& status);
+                        Status& status, trace::Ctx ctx = {});
 
   // The transport a remote operation actually uses: the configured one,
-  // degraded to TCP when the RDMA-link-down fault point fires.
-  Transport effective_transport();
+  // degraded to TCP when the RDMA-link-down fault point fires. `tid` and
+  // `ctx` attribute the fallback marker when a failover happens.
+  Transport effective_transport(hw::ThreadId tid, trace::Ctx ctx = {});
 
   // Runs `job` serialized on this daemon's control worker and waits.
   sim::Task run_on_control(std::function<sim::Task(hw::ThreadId)> job);
@@ -223,9 +225,10 @@ class VReadDaemon {
   // Ensures [offset, offset+n) of a local descriptor is cache-resident,
   // waiting on / issuing readahead as the access pattern dictates.
   sim::Task ensure_resident(hw::ThreadId tid, Descriptor& d, std::uint64_t offset,
-                            std::uint64_t n);
+                            std::uint64_t n, trace::Ctx ctx);
   sim::Task readahead_task(std::shared_ptr<RaState> ra, fs::DiskImagePtr image,
-                           std::uint64_t key, std::uint64_t begin, std::uint64_t end);
+                           std::uint64_t key, std::uint64_t begin, std::uint64_t end,
+                           trace::Ctx ctx);
 
   virt::Host& host_;
   DaemonConfig config_;

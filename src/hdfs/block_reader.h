@@ -16,6 +16,7 @@
 #include "fault/status.h"
 #include "mem/buffer.h"
 #include "sim/task.h"
+#include "trace/tracer.h"
 
 namespace vread::hdfs {
 
@@ -27,14 +28,16 @@ class BlockReader {
   // status means the shortcut is unavailable (unknown datanode, stale
   // mount, transport trouble, ...) and the caller must fall back to the
   // socket path; `vfd` is 0 in that case.
+  // `ctx` carries the caller's trace context through the shortcut (all
+  // implementations must propagate it; {} = untraced).
   virtual sim::Task open(const std::string& block_name, const std::string& datanode_id,
-                         std::uint64_t& vfd, Status& status) = 0;
+                         std::uint64_t& vfd, Status& status, trace::Ctx ctx = {}) = 0;
 
   // vRead_read: reads up to `len` bytes at `offset` of the block file.
   // On ok, `out` holds the bytes (possibly clamped at end of block); on
   // failure `out` is empty and the status says why -> fall back.
   virtual sim::Task read(std::uint64_t vfd, std::uint64_t offset, std::uint64_t len,
-                         mem::Buffer& out, Status& status) = 0;
+                         mem::Buffer& out, Status& status, trace::Ctx ctx = {}) = 0;
 
   // vRead_close: releases the descriptor.
   virtual sim::Task close(std::uint64_t vfd) = 0;

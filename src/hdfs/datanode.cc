@@ -7,19 +7,21 @@ namespace vread::hdfs {
 using hw::CycleCategory;
 using virt::TcpSocket;
 
-sim::Task send_frame(TcpSocket conn, mem::Buffer payload, CycleCategory cat) {
+sim::Task send_frame(TcpSocket conn, mem::Buffer payload, CycleCategory cat,
+                     trace::Ctx ctx) {
   wire::Writer w;
   w.u16(static_cast<std::uint16_t>(payload.size()));
   mem::Buffer framed = w.take();
   framed.append(payload);
-  co_await conn.send(std::move(framed), cat);
+  co_await conn.send(std::move(framed), cat, /*from_app_buffer=*/true, ctx);
 }
 
-sim::Task recv_frame(TcpSocket conn, mem::Buffer& out, CycleCategory cat) {
+sim::Task recv_frame(TcpSocket conn, mem::Buffer& out, CycleCategory cat,
+                     trace::Ctx ctx) {
   mem::Buffer len_raw;
-  co_await conn.recv_exact(2, len_raw, cat);
+  co_await conn.recv_exact(2, len_raw, cat, ctx);
   const std::uint16_t len = static_cast<std::uint16_t>(len_raw[0] | len_raw[1] << 8);
-  co_await conn.recv_exact(len, out, cat);
+  co_await conn.recv_exact(len, out, cat, ctx);
 }
 
 DataNode::DataNode(virt::Vm& vm, NameNode& nn, virt::VirtualNetwork& net, std::string id)
@@ -60,7 +62,9 @@ sim::Task DataNode::handle_conn(TcpSocket conn) {
       std::string block_name = r.str();
       std::uint64_t offset = r.u64();
       std::uint64_t len = r.u64();
-      co_await handle_read(conn, block_name, offset, len);
+      // The requesting client's trace context rode in on the request
+      // segments; serving work joins that client's span tree.
+      co_await handle_read(conn, block_name, offset, len, conn.last_rx_ctx());
     } else if (op == wire::Op::kWriteBlock) {
       std::string block_name = r.str();
       std::uint64_t total_len = r.u64();
@@ -73,13 +77,19 @@ sim::Task DataNode::handle_conn(TcpSocket conn) {
 }
 
 sim::Task DataNode::handle_read(TcpSocket conn, const std::string& block_name,
-                                std::uint64_t offset, std::uint64_t len) {
+                                std::uint64_t offset, std::uint64_t len,
+                                trace::Ctx ctx) {
   const hw::CostModel& cm = vm_.host().costs();
+  auto& tr = trace::tracer();
+  const trace::SpanId sp = tr.begin(ctx, trace::SpanKind::kStage, "datanode-serve",
+                                    static_cast<int>(vm_.vcpu_tid()));
+  if (sp != 0) ctx = ctx.under(sp);
   auto ino = vm_.fs().lookup(block_path(block_name));
   wire::Writer w;
   if (!ino) {
     w.i64(-1);
-    co_await send_frame(conn, w.take(), CycleCategory::kDatanodeApp);
+    co_await send_frame(conn, w.take(), CycleCategory::kDatanodeApp, ctx);
+    tr.end(sp);
     co_return;
   }
   const std::uint64_t file_size = vm_.fs().file_size(*ino);
@@ -87,9 +97,9 @@ sim::Task DataNode::handle_read(TcpSocket conn, const std::string& block_name,
   const std::uint64_t actual = end > offset ? end - offset : 0;
 
   // Per-request setup: protocol parsing, metadata, checksum file open.
-  co_await vm_.run_vcpu(cm.dn_request_overhead, CycleCategory::kDatanodeApp);
+  co_await vm_.run_vcpu(cm.dn_request_overhead, CycleCategory::kDatanodeApp, ctx);
   w.i64(static_cast<std::int64_t>(actual));
-  co_await send_frame(conn, w.take(), CycleCategory::kDatanodeApp);
+  co_await send_frame(conn, w.take(), CycleCategory::kDatanodeApp, ctx);
 
   // Stream the range in packets: disk -> guest kernel (virtio-blk copy),
   // then transferTo-style send (no app-buffer copy), with per-byte
@@ -99,15 +109,16 @@ sim::Task DataNode::handle_read(TcpSocket conn, const std::string& block_name,
     const std::uint64_t n = std::min(kPacketBytes, end - pos);
     mem::Buffer chunk;
     co_await vm_.fs_read(*ino, pos, n, chunk, CycleCategory::kDatanodeApp,
-                         /*copy_to_app=*/false);
+                         /*copy_to_app=*/false, ctx);
     co_await vm_.run_vcpu(cm.per_byte(n, cm.dn_app_cycles_per_byte),
-                          CycleCategory::kDatanodeApp);
+                          CycleCategory::kDatanodeApp, ctx);
     co_await conn.send(std::move(chunk), CycleCategory::kDatanodeApp,
-                       /*from_app_buffer=*/false);
+                       /*from_app_buffer=*/false, ctx);
     pos += n;
   }
   ++blocks_served_;
   bytes_served_ += actual;
+  tr.end(sp, actual);
 }
 
 sim::Task DataNode::handle_write(TcpSocket conn, const std::string& block_name,

@@ -58,7 +58,7 @@ class DataNode {
   sim::Task accept_loop();
   sim::Task handle_conn(virt::TcpSocket conn);
   sim::Task handle_read(virt::TcpSocket conn, const std::string& block_name,
-                        std::uint64_t offset, std::uint64_t len);
+                        std::uint64_t offset, std::uint64_t len, trace::Ctx ctx);
   sim::Task handle_write(virt::TcpSocket conn, const std::string& block_name,
                          std::uint64_t total_len,
                          std::vector<std::string> downstream);
@@ -72,7 +72,9 @@ class DataNode {
 };
 
 // Frame helpers shared with the client: u16 length prefix + payload.
-sim::Task send_frame(virt::TcpSocket conn, mem::Buffer payload, hw::CycleCategory cat);
-sim::Task recv_frame(virt::TcpSocket conn, mem::Buffer& out, hw::CycleCategory cat);
+sim::Task send_frame(virt::TcpSocket conn, mem::Buffer payload, hw::CycleCategory cat,
+                     trace::Ctx ctx = {});
+sim::Task recv_frame(virt::TcpSocket conn, mem::Buffer& out, hw::CycleCategory cat,
+                     trace::Ctx ctx = {});
 
 }  // namespace vread::hdfs

@@ -147,7 +147,7 @@ const std::string& DfsClient::choose_replica(const BlockInfo& blk) const {
 sim::Task DfsClient::fetch_block_range(const BlockInfo& blk,
                                        const std::string& datanode_id,
                                        std::uint64_t offset, std::uint64_t len,
-                                       mem::Buffer& out) {
+                                       mem::Buffer& out, trace::Ctx ctx) {
   const hw::CostModel& cm = vm_.host().costs();
   // Reuse (or establish) the cached per-datanode connection; requests on
   // it serialize.
@@ -165,10 +165,10 @@ sim::Task DfsClient::fetch_block_range(const BlockInfo& blk,
   w.str(blk.name);
   w.u64(offset);
   w.u64(len);
-  co_await send_frame(conn, w.take(), CycleCategory::kClientApp);
+  co_await send_frame(conn, w.take(), CycleCategory::kClientApp, ctx);
 
   mem::Buffer resp;
-  co_await recv_frame(conn, resp, CycleCategory::kClientApp);
+  co_await recv_frame(conn, resp, CycleCategory::kClientApp, ctx);
   wire::Reader r(resp);
   const std::int64_t actual = r.i64();
   if (actual < 0) {
@@ -176,11 +176,11 @@ sim::Task DfsClient::fetch_block_range(const BlockInfo& blk,
     throw HdfsError("datanode " + datanode_id + " missing " + blk.name);
   }
   co_await conn.recv_exact(static_cast<std::uint64_t>(actual), out,
-                           CycleCategory::kClientApp);
+                           CycleCategory::kClientApp, ctx);
   // Client-side stream processing + checksum verification.
   co_await vm_.run_vcpu(
       cm.per_byte(static_cast<std::uint64_t>(actual), cm.client_hdfs_cycles_per_byte),
-      CycleCategory::kClientApp);
+      CycleCategory::kClientApp, ctx);
   cc.mutex->release();
 }
 
@@ -251,6 +251,12 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
                                            bool sequential) {
   DfsClient& c = client_;
   const std::string& dn = c.choose_replica(blk);
+  auto& tr = trace::tracer();
+  const int app_tid = static_cast<int>(c.vm().vcpu_tid());
+  // Root span of this read's trace tree: read1 = sequential (Algorithm 1),
+  // read2 = positional (Algorithm 2). Every downstream span — guest, shm
+  // ring, daemon, datanode, wire — hangs off this context.
+  const trace::Ctx ctx = tr.begin_read(sequential ? "read1" : "read2", app_tid);
 
   // HDFS Short-Circuit Local Read: replica in this very VM -> read the
   // block file straight off the local filesystem.
@@ -259,12 +265,14 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
       if (loc == c.vm().name()) {
         auto ino = c.vm().fs().lookup(DataNode::block_path(blk.name));
         if (ino.has_value()) {
-          co_await c.vm().fs_read(*ino, off, len, out, CycleCategory::kClientApp);
+          co_await c.vm().fs_read(*ino, off, len, out, CycleCategory::kClientApp,
+                                  /*copy_to_app=*/true, ctx);
           // Lean client-side processing: no protocol, just stream plumbing.
           co_await c.vm().run_vcpu(
               c.vm().host().costs().per_byte(
                   out.size(), c.vm().host().costs().client_hdfs_vread_cycles_per_byte),
-              CycleCategory::kClientApp);
+              CycleCategory::kClientApp, ctx);
+          tr.end_read(ctx, out.size());
           co_return;
         }
         break;  // registered here but file missing: fall through to sockets
@@ -286,7 +294,7 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
       have_vfd = true;
     } else if (c.vread_probe_allowed()) {
       Status st;
-      co_await reader->open(blk.name, dn, vfd, st);
+      co_await reader->open(blk.name, dn, vfd, st, ctx);
       if (st.ok()) {
         c.vfd_hash_.emplace(blk.name, vfd);
         have_vfd = true;
@@ -304,18 +312,19 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
 
   if (have_vfd) {
     Status st;
-    co_await reader->read(vfd, off, len, out, st);
+    co_await reader->read(vfd, off, len, out, st, ctx);
     if (st.ok()) {
       // Lean vRead-side client processing (no protocol framing/checksums).
       const hw::CostModel& cm = c.vm().host().costs();
       co_await c.vm().run_vcpu(
           cm.per_byte(out.size(), cm.client_hdfs_vread_cycles_per_byte),
-          CycleCategory::kClientApp);
+          CycleCategory::kClientApp, ctx);
       if (off + out.size() >= blk.size) {
         // Block fully consumed: vRead_close + hash removal (Algorithm 1).
         co_await reader->close(vfd);
         c.vfd_hash_.erase(blk.name);
       }
+      tr.end_read(ctx, out.size());
       co_return;
     }
     // Shortcut failed mid-flight: drop the descriptor and fall through.
@@ -326,10 +335,16 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
     vread_failed = true;
     if (!st.is_stale()) c.enter_vread_cooldown();
   }
-  if (vread_failed) ++c.vread_fallback_reads_;
+  if (vread_failed) {
+    ++c.vread_fallback_reads_;
+    tr.instant(ctx, trace::SpanKind::kFallback, "vread->socket", app_tid);
+  }
 
   // Original HDFS method, with replica failover: try the preferred
   // (co-located) replica first, then the others.
+  const trace::SpanId sock_sp =
+      tr.begin(ctx, trace::SpanKind::kStage, "socket-read", app_tid);
+  const trace::Ctx sctx = sock_sp != 0 ? ctx.under(sock_sp) : ctx;
   std::vector<std::string> candidates{dn};
   for (const std::string& loc : blk.locations) {
     if (loc != dn) candidates.push_back(loc);
@@ -337,21 +352,28 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     try {
       if (sequential) {
-        co_await read_from_stream(blk, candidates[i], off, len, out);
+        co_await read_from_stream(blk, candidates[i], off, len, out, sctx);
       } else {
-        co_await c.fetch_block_range(blk, candidates[i], off, len, out);
+        co_await c.fetch_block_range(blk, candidates[i], off, len, out, sctx);
       }
+      tr.end(sock_sp, out.size());
+      tr.end_read(ctx, out.size());
       co_return;
     } catch (const HdfsError&) {
       drop_stream();
-      if (i + 1 == candidates.size()) throw;
+      if (i + 1 == candidates.size()) {
+        tr.end(sock_sp);
+        tr.end_read(ctx, out.size());
+        throw;
+      }
+      tr.instant(sctx, trace::SpanKind::kRetry, "replica-failover", app_tid);
     }
   }
 }
 
 sim::Task DfsInputStream::read_from_stream(const BlockInfo& blk, const std::string& dn,
                                            std::uint64_t off, std::uint64_t len,
-                                           mem::Buffer& out) {
+                                           mem::Buffer& out, trace::Ctx ctx) {
   DfsClient& c = client_;
   const hw::CostModel& cm = c.vm().host().costs();
   // (Re)open the block stream when absent or not positioned at `off`.
@@ -364,9 +386,9 @@ sim::Task DfsInputStream::read_from_stream(const BlockInfo& blk, const std::stri
     w.str(blk.name);
     w.u64(off);
     w.u64(blk.size - off);  // stream the rest of the block
-    co_await send_frame(conn, w.take(), CycleCategory::kClientApp);
+    co_await send_frame(conn, w.take(), CycleCategory::kClientApp, ctx);
     mem::Buffer resp;
-    co_await recv_frame(conn, resp, CycleCategory::kClientApp);
+    co_await recv_frame(conn, resp, CycleCategory::kClientApp, ctx);
     wire::Reader r(resp);
     const std::int64_t actual = r.i64();
     if (actual < 0) throw HdfsError("datanode missing block " + blk.name);
@@ -376,9 +398,9 @@ sim::Task DfsInputStream::read_from_stream(const BlockInfo& blk, const std::stri
     stream_.end_offset = off + static_cast<std::uint64_t>(actual);
   }
   const std::uint64_t n = std::min(len, stream_.end_offset - stream_.next_offset);
-  co_await stream_.sock.recv_exact(n, out, CycleCategory::kClientApp);
+  co_await stream_.sock.recv_exact(n, out, CycleCategory::kClientApp, ctx);
   co_await c.vm().run_vcpu(cm.per_byte(n, cm.client_hdfs_cycles_per_byte),
-                           CycleCategory::kClientApp);
+                           CycleCategory::kClientApp, ctx);
   stream_.next_offset += n;
   if (stream_.next_offset >= stream_.end_offset) drop_stream();
 }

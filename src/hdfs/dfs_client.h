@@ -106,7 +106,8 @@ class DfsClient {
   // Vanilla path: one-shot block-range fetch over a fresh connection
   // (Algorithm 2's fetchBlocks).
   sim::Task fetch_block_range(const BlockInfo& blk, const std::string& datanode_id,
-                              std::uint64_t offset, std::uint64_t len, mem::Buffer& out);
+                              std::uint64_t offset, std::uint64_t len, mem::Buffer& out,
+                              trace::Ctx ctx = {});
 
  private:
   friend class DfsInputStream;
@@ -232,7 +233,8 @@ class DfsInputStream {
   // Reads from replica `dn`; throws HdfsError if that replica lacks the
   // block (the caller fails over).
   sim::Task read_from_stream(const BlockInfo& blk, const std::string& dn,
-                             std::uint64_t off, std::uint64_t len, mem::Buffer& out);
+                             std::uint64_t off, std::uint64_t len, mem::Buffer& out,
+                             trace::Ctx ctx);
   void drop_stream();
 
   DfsClient& client_;

@@ -20,6 +20,7 @@
 #include "sim/random.h"
 #include "sim/simulation.h"
 #include "sim/time.h"
+#include "trace/tracer.h"
 
 namespace vread::hw {
 
@@ -59,20 +60,25 @@ class CpuScheduler {
     ThreadId tid;
     sim::Cycles remaining;
     CycleCategory cat;
+    trace::Ctx ctx{};         // read being serviced (trace attribution only)
     std::coroutine_handle<> waiter{};
     int core = -1;            // core currently executing this burst
     bool fresh = true;        // first quantum of the burst (wakeup path)
+    sim::SimTime enqueue_t = 0;  // when the burst became runnable
+    sim::SimTime busy_t = 0;     // core time granted so far
 
     bool await_ready() const noexcept { return remaining == 0; }
     void await_suspend(std::coroutine_handle<> h) {
       waiter = h;
+      enqueue_t = cpu.sim_.now();
       cpu.enqueue(this);
     }
     void await_resume() const noexcept {}
   };
 
-  ConsumeAwaiter consume(ThreadId tid, sim::Cycles cycles, CycleCategory cat) {
-    return ConsumeAwaiter{*this, tid, cycles, cat};
+  ConsumeAwaiter consume(ThreadId tid, sim::Cycles cycles, CycleCategory cat,
+                         trace::Ctx ctx = {}) {
+    return ConsumeAwaiter{*this, tid, cycles, cat, ctx};
   }
 
   // cpufreq-set: takes effect at the next quantum boundary.
@@ -149,7 +155,20 @@ class CpuScheduler {
     acct_.charge(b->tid, b->cat, q);
     acct_.note_busy(b->tid, dur);
     b->remaining -= q;
+    b->busy_t += dur;
     if (b->remaining == 0) {
+      // Trace the finished burst: whatever part of the wall time was not
+      // core time is run-queue wait + migration delay — the paper's Fig. 3
+      // synchronization delay, measured per burst.
+      if (auto& tr = trace::tracer(); tr.enabled()) {
+        const sim::SimTime end = sim_.now();
+        const sim::SimTime wait = (end - b->enqueue_t) - b->busy_t;
+        if (wait > 0)
+          tr.record(b->ctx, trace::SpanKind::kSyncWait, "cpu-queue",
+                    static_cast<int>(b->tid), b->enqueue_t, b->enqueue_t + wait);
+        tr.record(b->ctx, trace::SpanKind::kCompute, metrics::to_string(b->cat),
+                  static_cast<int>(b->tid), end - b->busy_t, end);
+      }
       release_core(b);
       sim_.resume_at(sim_.now(), b->waiter);
       dispatch();

@@ -16,8 +16,16 @@ class LatencyRecorder {
   void record(sim::SimTime v) { samples_.push_back(v); }
 
   std::size_t count() const { return samples_.size(); }
-  sim::SimTime min() const { return *std::min_element(samples_.begin(), samples_.end()); }
-  sim::SimTime max() const { return *std::max_element(samples_.begin(), samples_.end()); }
+  // min/max of no samples are 0, matching mean()/percentile() — NOT a
+  // dereference of an end() iterator.
+  sim::SimTime min() const {
+    if (samples_.empty()) return 0;
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+  sim::SimTime max() const {
+    if (samples_.empty()) return 0;
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
 
   double mean() const {
     if (samples_.empty()) return 0.0;

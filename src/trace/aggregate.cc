@@ -1,0 +1,139 @@
+#include "trace/aggregate.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace vread::trace {
+
+RunSummary aggregate(const Tracer& t) {
+  RunSummary s;
+  std::map<std::uint32_t, std::size_t> index;  // read id -> slot in s.reads
+  for (const Span& sp : t.spans()) {
+    if (sp.read == 0) continue;
+    auto it = index.find(sp.read);
+    if (it == index.end()) {
+      it = index.emplace(sp.read, s.reads.size()).first;
+      s.reads.push_back(ReadBreakdown{});
+      s.reads.back().read = sp.read;
+    }
+    ReadBreakdown& r = s.reads[it->second];
+    switch (sp.kind) {
+      case SpanKind::kRead:
+        r.name = sp.name;
+        r.begin = sp.begin;
+        r.end = sp.end;
+        r.bytes += sp.bytes;
+        break;
+      case SpanKind::kCopy:
+        r.copy_bytes += sp.bytes;
+        r.copy_by_site[sp.name] += sp.bytes;
+        break;
+      case SpanKind::kSyncWait:
+        r.sync_wait += sp.end - sp.begin;
+        break;
+      case SpanKind::kDisk:
+        r.disk += sp.end - sp.begin;
+        break;
+      case SpanKind::kTransport:
+        r.transport += sp.end - sp.begin;
+        break;
+      case SpanKind::kRetry:
+        ++r.retries;
+        break;
+      case SpanKind::kFallback:
+        ++r.fallbacks;
+        break;
+      case SpanKind::kStage:
+      case SpanKind::kCompute:
+        break;
+    }
+  }
+  for (const ReadBreakdown& r : s.reads) {
+    s.total.bytes += r.bytes;
+    s.total.copy_bytes += r.copy_bytes;
+    s.total.sync_wait += r.sync_wait;
+    s.total.disk += r.disk;
+    s.total.transport += r.transport;
+    s.total.retries += r.retries;
+    s.total.fallbacks += r.fallbacks;
+    s.total.end += r.elapsed();  // total.elapsed() = sum of read times
+    for (const auto& [site, bytes] : r.copy_by_site) s.total.copy_by_site[site] += bytes;
+  }
+  s.total.name = "TOTAL";
+  return s;
+}
+
+namespace {
+
+double ms(sim::SimTime t) { return sim::to_millis(t); }
+
+void print_row(std::ostream& os, const std::string& label, const ReadBreakdown& r) {
+  os << "  " << std::left << std::setw(10) << label << std::right << std::setw(12) << r.bytes
+     << std::setw(10) << std::fixed << std::setprecision(3) << ms(r.elapsed()) << std::setw(8)
+     << std::setprecision(2) << r.copies() << std::setw(10) << std::setprecision(3)
+     << ms(r.sync_wait) << std::setw(10) << ms(r.disk) << std::setw(10) << ms(r.transport)
+     << std::setw(8) << r.retries << std::setw(6) << r.fallbacks << "\n";
+}
+
+}  // namespace
+
+void print_read_table(std::ostream& os, const RunSummary& s, std::size_t max_rows) {
+  os << "  per-read attribution (ms):\n";
+  os << "  " << std::left << std::setw(10) << "read" << std::right << std::setw(12) << "bytes"
+     << std::setw(10) << "elapsed" << std::setw(8) << "copies" << std::setw(10) << "syncwait"
+     << std::setw(10) << "disk" << std::setw(10) << "wire" << std::setw(8) << "retries"
+     << std::setw(6) << "fb" << "\n";
+  std::size_t shown = std::min(max_rows, s.reads.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const ReadBreakdown& r = s.reads[i];
+    print_row(os, std::string(r.name) + "#" + std::to_string(r.read), r);
+  }
+  if (shown < s.reads.size())
+    os << "  ... (" << (s.reads.size() - shown) << " more reads)\n";
+  print_row(os, "TOTAL", s.total);
+}
+
+void print_copy_sites(std::ostream& os, const RunSummary& s) {
+  os << "  copy sites (bytes moved; x = per delivered byte):\n";
+  for (const auto& [site, bytes] : s.total.copy_by_site) {
+    double x = s.total.bytes == 0
+                   ? 0.0
+                   : static_cast<double>(bytes) / static_cast<double>(s.total.bytes);
+    os << "    " << std::left << std::setw(28) << site << std::right << std::setw(14) << bytes
+       << "  x" << std::fixed << std::setprecision(2) << x << "\n";
+  }
+  os << "    " << std::left << std::setw(28) << "copy count" << std::right << std::setw(14)
+     << s.total.copy_bytes << "  x" << std::fixed << std::setprecision(2) << s.total.copies()
+     << "\n";
+}
+
+std::map<std::string, sim::SimTime> sync_wait_by_group(const Tracer& t,
+                                                       const metrics::CycleAccounting& acct) {
+  std::map<std::string, sim::SimTime> waits;
+  for (const Span& sp : t.spans()) {
+    if (sp.kind != SpanKind::kSyncWait) continue;
+    const std::string& group = t.is_track(sp.tid)
+                                   ? t.track_group(sp.tid)
+                                   : acct.thread_group(static_cast<metrics::ThreadId>(sp.tid));
+    waits[group] += sp.end - sp.begin;
+  }
+  return waits;
+}
+
+void print_sync_wait_by_group(std::ostream& os,
+                              const std::map<std::string, sim::SimTime>& waits,
+                              sim::SimTime elapsed) {
+  os << "  measured sync-wait by group (ms; window " << std::fixed << std::setprecision(1)
+     << ms(elapsed) << " ms):\n";
+  for (const auto& [group, wait] : waits) {
+    os << "    " << std::left << std::setw(16) << group << std::right << std::setw(10)
+       << std::fixed << std::setprecision(3) << ms(wait);
+    if (elapsed > 0)
+      os << "  (" << std::setprecision(1)
+         << 100.0 * static_cast<double>(wait) / static_cast<double>(elapsed) << "%)";
+    os << "\n";
+  }
+}
+
+}  // namespace vread::trace

@@ -1,0 +1,67 @@
+// Span aggregation: turns the tracer's flat span list into the paper's
+// per-read attribution — copy count (bytes moved / bytes delivered, Fig. 2:
+// 5 for vanilla virtual Hadoop, 2 for vRead), synchronization delay
+// (Fig. 3), and time-in-stage decomposition (Figs. 6-8 narrative).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/accounting.h"
+#include "trace/tracer.h"
+
+namespace vread::trace {
+
+// Attribution for one root read span (or the sum over a run).
+struct ReadBreakdown {
+  std::uint32_t read = 0;
+  const char* name = "";
+  sim::SimTime begin = 0;
+  sim::SimTime end = 0;
+  std::uint64_t bytes = 0;       // bytes delivered to the application
+  std::uint64_t copy_bytes = 0;  // sum over kCopy spans (bytes moved)
+  sim::SimTime sync_wait = 0;    // kSyncWait: run-queue + vCPU-mutex delay
+  sim::SimTime disk = 0;         // kDisk service time
+  sim::SimTime transport = 0;    // kTransport wire/RDMA time
+  int retries = 0;
+  int fallbacks = 0;
+  std::map<std::string, std::uint64_t> copy_by_site;  // copy-span name -> bytes
+
+  sim::SimTime elapsed() const { return end - begin; }
+  // Paper's copy count: how many times each delivered byte was moved.
+  double copies() const {
+    return bytes == 0 ? 0.0 : static_cast<double>(copy_bytes) / static_cast<double>(bytes);
+  }
+};
+
+struct RunSummary {
+  std::vector<ReadBreakdown> reads;  // one per root span, in start order
+  ReadBreakdown total;               // sums over `reads` (elapsed = sum)
+};
+
+// Groups spans by read id and folds leaf spans into their read's breakdown.
+// Spans with read id 0 (background activity) are ignored here.
+RunSummary aggregate(const Tracer& t);
+
+// Per-read table: elapsed, bytes, copy count, sync wait, disk, transport,
+// retry/fallback counts. Prints at most `max_rows` reads plus a TOTAL row.
+void print_read_table(std::ostream& os, const RunSummary& s, std::size_t max_rows = 12);
+
+// Copy-site table for the run: bytes moved per copy site, and the implied
+// copy count relative to delivered bytes (the Fig. 2 arrows, measured).
+void print_copy_sites(std::ostream& os, const RunSummary& s);
+
+// Total kSyncWait time per accounting group (VM or host), including
+// background (read-id 0) waits — the measured form of Fig. 3's VM/I/O-thread
+// synchronization delay. Track spans (tid >= kTrackBase) use the track group.
+std::map<std::string, sim::SimTime> sync_wait_by_group(const Tracer& t,
+                                                       const metrics::CycleAccounting& acct);
+
+void print_sync_wait_by_group(std::ostream& os,
+                              const std::map<std::string, sim::SimTime>& waits,
+                              sim::SimTime elapsed);
+
+}  // namespace vread::trace

@@ -1,0 +1,19 @@
+// Chrome trace_event JSON exporter (the format Perfetto and about:tracing
+// load): one pid per accounting group (VM or "host:<name>"), one tid per
+// simulated thread or synthetic track. Durations use "X" complete events;
+// retry/fallback markers use "i" instants. Timestamps are microseconds with
+// nanosecond precision (sim ns / 1000, three decimals), so the output is
+// byte-stable across runs — golden-file testable.
+#pragma once
+
+#include <iosfwd>
+
+#include "metrics/accounting.h"
+#include "trace/tracer.h"
+
+namespace vread::trace {
+
+void write_chrome_trace(std::ostream& os, const Tracer& t,
+                        const metrics::CycleAccounting& acct);
+
+}  // namespace vread::trace

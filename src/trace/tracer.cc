@@ -1,0 +1,25 @@
+#include "trace/tracer.h"
+
+namespace vread::trace {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kRead: return "read";
+    case SpanKind::kStage: return "stage";
+    case SpanKind::kCopy: return "copy";
+    case SpanKind::kSyncWait: return "sync-wait";
+    case SpanKind::kCompute: return "compute";
+    case SpanKind::kTransport: return "transport";
+    case SpanKind::kDisk: return "disk";
+    case SpanKind::kRetry: return "retry";
+    case SpanKind::kFallback: return "fallback";
+  }
+  return "?";
+}
+
+Tracer& tracer() {
+  static Tracer t;
+  return t;
+}
+
+}  // namespace vread::trace

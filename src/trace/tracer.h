@@ -1,0 +1,182 @@
+// Deterministic per-read tracing for the simulated vRead stack.
+//
+// A `Ctx` identifies one in-flight HDFS read (`read` id) and the span it is
+// currently inside (`parent`). The context is threaded *explicitly* through
+// the read path — DfsInputStream -> BlockReader -> shm ring slot ->
+// VReadDaemon -> peer daemon, or the vanilla socket path through the
+// datanode — because coroutine interleaving makes any implicit thread-local
+// context unsound in the simulator.
+//
+// Design rules (DESIGN.md §8):
+//  - Zero overhead when disabled: every hook checks `enabled()` first and a
+//    disabled tracer never allocates; `Ctx{}` propagates for free. Tracing
+//    never co_awaits, never charges cycles and never branches simulation
+//    logic, so enabling it cannot change simulated results.
+//  - Spans are stamped with sim::SimTime (integer ns) and byte counts; the
+//    span list is append-only and its order is deterministic.
+//  - Thread ids come from metrics::CycleAccounting. Non-thread actors (LAN
+//    wire, disks, vCPU run queues) get synthetic "track" ids at kTrackBase+
+//    so they can overlap freely without breaking per-thread nesting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace vread::trace {
+
+// Index+1 into the tracer's span vector; 0 means "no span".
+using SpanId = std::uint32_t;
+
+enum class SpanKind : std::uint8_t {
+  kRead,       // root: one per DfsInputStream block-range read
+  kStage,      // pipeline stage (vread-open, socket-read, loop-read, ...)
+  kCopy,       // one data copy; `bytes` = bytes moved (paper Fig. 2 arrows)
+  kSyncWait,   // runnable-but-not-running: CPU run queue / vCPU mutex
+  kCompute,    // CPU burst actually executing (named by CycleCategory)
+  kTransport,  // bytes in flight on a wire (LAN hop, RDMA transfer)
+  kDisk,       // physical disk service time incl. device queueing
+  kRetry,      // instant: a retryable failure triggered another attempt
+  kFallback,   // instant: degraded to a slower path (socket, TCP transport)
+};
+
+const char* to_string(SpanKind kind);
+
+// Per-read trace context, passed by value along the read path.
+struct Ctx {
+  std::uint32_t read = 0;  // 0 = untraced
+  SpanId parent = 0;
+
+  explicit operator bool() const { return read != 0; }
+  // Context for work nested under span `p` of the same read.
+  Ctx under(SpanId p) const { return Ctx{read, p}; }
+};
+
+struct Span {
+  std::uint32_t read = 0;  // owning read id (0 = background activity)
+  SpanId parent = 0;
+  SpanKind kind = SpanKind::kStage;
+  const char* name = "";  // static string; never freed
+  int tid = 0;            // accounting thread id, or a track id
+  sim::SimTime begin = 0;
+  sim::SimTime end = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Tracer {
+ public:
+  // Synthetic ids handed out by track(); real thread ids stay below this.
+  static constexpr int kTrackBase = 1'000'000;
+
+  // Starts recording. `sim` supplies timestamps; previous spans are kept
+  // (call clear() for a fresh run).
+  void enable(sim::Simulation& sim) {
+    sim_ = &sim;
+    enabled_ = true;
+  }
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void clear() {
+    spans_.clear();
+    tracks_.clear();
+    next_read_ = 1;
+  }
+
+  // --- root read spans ---
+  // Opens a root span for a new read on thread `tid`. Returns the context
+  // the whole read path should carry ({} when disabled).
+  Ctx begin_read(const char* name, int tid) {
+    if (!enabled_) return {};
+    std::uint32_t id = next_read_++;
+    SpanId root = push(id, 0, SpanKind::kRead, name, tid, now(), now(), 0);
+    return Ctx{id, root};
+  }
+  void end_read(Ctx ctx, std::uint64_t bytes) {
+    if (!enabled_ || !ctx) return;
+    Span& s = spans_[ctx.parent - 1];
+    s.end = now();
+    s.bytes = bytes;
+  }
+
+  // --- nested spans ---
+  // Opens a span under ctx.parent; close with end(). Returns 0 if disabled.
+  SpanId begin(Ctx ctx, SpanKind kind, const char* name, int tid) {
+    if (!enabled_) return 0;
+    return push(ctx.read, ctx.parent, kind, name, tid, now(), now(), 0);
+  }
+  void end(SpanId id, std::uint64_t bytes = 0) {
+    if (!enabled_ || id == 0) return;
+    Span& s = spans_[id - 1];
+    s.end = now();
+    s.bytes += bytes;
+  }
+
+  // Records a completed span with explicit timestamps (the scheduler emits
+  // wait/compute spans retroactively when a burst finishes).
+  void record(Ctx ctx, SpanKind kind, const char* name, int tid, sim::SimTime begin,
+              sim::SimTime end, std::uint64_t bytes = 0) {
+    if (!enabled_) return;
+    push(ctx.read, ctx.parent, kind, name, tid, begin, end, bytes);
+  }
+
+  // Records a zero-duration marker (retry / fallback events).
+  void instant(Ctx ctx, SpanKind kind, const char* name, int tid) {
+    if (!enabled_) return;
+    push(ctx.read, ctx.parent, kind, name, tid, now(), now(), 0);
+  }
+
+  // --- tracks ---
+  // Returns a stable synthetic id for a non-thread actor ("lan-wire",
+  // "host1 disk", ...). `group` places it under a process in the exporter.
+  int track(const std::string& name, const std::string& group) {
+    if (!enabled_) return kTrackBase;
+    for (std::size_t i = 0; i < tracks_.size(); ++i)
+      if (tracks_[i].name == name) return kTrackBase + static_cast<int>(i);
+    tracks_.push_back(Track{name, group});
+    return kTrackBase + static_cast<int>(tracks_.size()) - 1;
+  }
+  bool is_track(int tid) const { return tid >= kTrackBase; }
+  const std::string& track_name(int tid) const {
+    return tracks_[static_cast<std::size_t>(tid - kTrackBase)].name;
+  }
+  const std::string& track_group(int tid) const {
+    return tracks_[static_cast<std::size_t>(tid - kTrackBase)].group;
+  }
+
+  // --- inspection ---
+  const std::vector<Span>& spans() const { return spans_; }
+  // Total spans ever recorded: the "zero allocation" counter the tests use
+  // to prove the disabled path never touches the tracer.
+  std::uint64_t spans_recorded() const { return spans_.size(); }
+  std::uint32_t reads_started() const { return next_read_ - 1; }
+
+ private:
+  struct Track {
+    std::string name;
+    std::string group;
+  };
+
+  sim::SimTime now() const { return sim_->now(); }
+
+  SpanId push(std::uint32_t read, SpanId parent, SpanKind kind, const char* name, int tid,
+              sim::SimTime begin, sim::SimTime end, std::uint64_t bytes) {
+    spans_.push_back(Span{read, parent, kind, name, tid, begin, end, bytes});
+    return static_cast<SpanId>(spans_.size());
+  }
+
+  bool enabled_ = false;
+  sim::Simulation* sim_ = nullptr;
+  std::vector<Span> spans_;
+  std::vector<Track> tracks_;
+  std::uint32_t next_read_ = 1;
+};
+
+// Process-wide tracer, mirroring fault::registry(): benches and tests run
+// one simulation per process, and instrumentation sites (the CPU scheduler,
+// the shm ring) have no natural place to carry a tracer pointer.
+Tracer& tracer();
+
+}  // namespace vread::trace

@@ -36,6 +36,8 @@ struct ShmRequest {
   std::uint64_t vfd = 0;
   std::uint64_t offset = 0;
   std::uint64_t len = 0;
+  trace::Ctx ctx{};          // read attribution; rides the request slot so
+                             // daemon-side spans join the client's trace
 };
 
 struct ShmResponse {
@@ -68,9 +70,11 @@ class ShmChannel {
   // Issues one request and gathers the full response (all data chunks).
   // Calls serialize per channel, like the prototype's per-fd usage.
   sim::Task call(ShmRequest req, ShmResponse& out) {
+    const trace::Ctx ctx = req.ctx;
+    auto& tr = trace::tracer();
     co_await call_mutex_.acquire();
     // eventfd doorbell write, translated by the guest vRead driver.
-    co_await guest_.run_vcpu(cm_.doorbell_guest, hw::CycleCategory::kInterrupt);
+    co_await guest_.run_vcpu(cm_.doorbell_guest, hw::CycleCategory::kInterrupt, ctx);
     // Injected request loss: the doorbell fired but the daemon never saw
     // the mailbox entry (daemon wedged, ring race). The guest burns the
     // full timeout before reporting the shortcut unavailable.
@@ -94,14 +98,20 @@ class ShmChannel {
         const std::uint64_t used = slots_for(c.data.size());
         // Virtual interrupt + per-slot lock handling on the vCPU.
         co_await guest_.run_vcpu(cm_.interrupt_inject + cm_.shm_slot_overhead * used,
-                                 hw::CycleCategory::kInterrupt);
-        // Copy: shared-memory ring -> application buffer.
+                                 hw::CycleCategory::kInterrupt, ctx);
+        // Copy: shared-memory ring -> application buffer (the second of
+        // vRead's two standing copies).
+        const sim::SimTime c0 = guest_.host().sim().now();
         co_await guest_.run_vcpu(cm_.copy_cost(c.data.size()),
-                                 hw::CycleCategory::kVreadBufferCopy);
+                                 hw::CycleCategory::kVreadBufferCopy, ctx);
+        if (tr.enabled())
+          tr.record(ctx, trace::SpanKind::kCopy, "copy ring->app",
+                    static_cast<int>(guest_.vcpu_tid()), c0, guest_.host().sim().now(),
+                    c.data.size());
         out.data.append(c.data);
         slots_.release(used);
       } else {
-        co_await guest_.run_vcpu(cm_.interrupt_inject, hw::CycleCategory::kInterrupt);
+        co_await guest_.run_vcpu(cm_.interrupt_inject, hw::CycleCategory::kInterrupt, ctx);
       }
       if (c.last) break;
     }
@@ -126,10 +136,12 @@ class ShmChannel {
   // memory.
   sim::Task respond_part(hw::ThreadId daemon_tid, std::uint64_t req_id,
                          std::int64_t status, std::uint64_t vfd, mem::Buffer data,
-                         bool last, bool charge_copy = true) {
+                         bool last, bool charge_copy = true, trace::Ctx ctx = {}) {
     hw::CpuScheduler& cpu = guest_.host().cpu();
+    auto& tr = trace::tracer();
     if (data.empty()) {
-      co_await cpu.consume(daemon_tid, cm_.doorbell_host, hw::CycleCategory::kInterrupt);
+      co_await cpu.consume(daemon_tid, cm_.doorbell_host, hw::CycleCategory::kInterrupt,
+                           ctx);
       chunks_.send(Chunk{req_id, status, vfd, mem::Buffer(), last});
       co_return;
     }
@@ -140,16 +152,26 @@ class ShmChannel {
     while (offset < data.size()) {
       const std::uint64_t n = std::min<std::uint64_t>(max_chunk, data.size() - offset);
       const std::uint64_t used = slots_for(n);
+      const sim::SimTime w0 = guest_.host().sim().now();
       co_await slots_.acquire(used);
+      // Ring-full backpressure: the guest has not drained earlier chunks.
+      if (tr.enabled() && guest_.host().sim().now() > w0)
+        tr.record(ctx, trace::SpanKind::kSyncWait, "shm-ring-full",
+                  static_cast<int>(daemon_tid), w0, guest_.host().sim().now());
       co_await cpu.consume(daemon_tid, cm_.shm_slot_overhead * used,
-                           hw::CycleCategory::kVreadBufferCopy);
+                           hw::CycleCategory::kVreadBufferCopy, ctx);
       if (charge_copy) {
-        // Copy: daemon buffer -> shared-memory ring.
+        // Copy: daemon buffer -> shared-memory ring (the first of vRead's
+        // two standing copies; RDMA DMAs into the ring and skips it).
+        const sim::SimTime c0 = guest_.host().sim().now();
         co_await cpu.consume(daemon_tid, cm_.copy_cost(n),
-                             hw::CycleCategory::kVreadBufferCopy);
+                             hw::CycleCategory::kVreadBufferCopy, ctx);
+        if (tr.enabled())
+          tr.record(ctx, trace::SpanKind::kCopy, "copy daemon->ring",
+                    static_cast<int>(daemon_tid), c0, guest_.host().sim().now(), n);
       }
       co_await cpu.consume(daemon_tid, cm_.doorbell_host,
-                           hw::CycleCategory::kInterrupt);
+                           hw::CycleCategory::kInterrupt, ctx);
       const bool ring_last = last && offset + n == data.size();
       chunks_.send(Chunk{req_id, status, vfd, data.slice(offset, n), ring_last});
       offset += n;
@@ -157,9 +179,10 @@ class ShmChannel {
   }
 
   // Single-shot response (control operations, errors, whole payloads).
-  sim::Task respond(hw::ThreadId daemon_tid, ShmResponse resp, bool charge_copy = true) {
+  sim::Task respond(hw::ThreadId daemon_tid, ShmResponse resp, bool charge_copy = true,
+                    trace::Ctx ctx = {}) {
     co_await respond_part(daemon_tid, resp.id, resp.status, resp.vfd,
-                          std::move(resp.data), /*last=*/true, charge_copy);
+                          std::move(resp.data), /*last=*/true, charge_copy, ctx);
   }
 
   std::uint64_t free_slots() const { return slots_.available(); }

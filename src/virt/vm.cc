@@ -17,23 +17,44 @@ Vm::Vm(Host& host, Config config)
       fs_(std::make_unique<fs::SimFs>(fs::SimFs::format(image_))),
       guest_cache_(config_.guest_cache_bytes) {}
 
-sim::Task Vm::run_vcpu(sim::Cycles cycles, CycleCategory cat) {
+sim::Task Vm::run_vcpu(sim::Cycles cycles, CycleCategory cat, trace::Ctx ctx) {
+  auto& tr = trace::tracer();
+  const sim::SimTime t0 = host_.sim().now();
   co_await vcpu_mutex_.acquire();
-  co_await host_.cpu().consume(vcpu_, cycles, cat);
+  if (tr.enabled() && host_.sim().now() > t0) {
+    // Waiting for the single vCPU (another guest thread holds it) is VM
+    // synchronization delay; it goes on a per-VM track because waits can
+    // straddle the holder's bursts on the vCPU thread itself.
+    tr.record(ctx, trace::SpanKind::kSyncWait, "vcpu-mutex",
+              tr.track(config_.name + " vcpu-runq", config_.name), t0, host_.sim().now());
+  }
+  co_await host_.cpu().consume(vcpu_, cycles, cat, ctx);
   vcpu_mutex_.release();
 }
 
 sim::Task Vm::guest_readahead_task(std::shared_ptr<RaState> ra, std::uint32_t inode,
-                                   std::uint64_t begin, std::uint64_t end) {
+                                   std::uint64_t begin, std::uint64_t end, trace::Ctx ctx) {
   // Async readahead issued by the guest block layer: device time plus the
-  // per-command virtio-blk round trips.
+  // per-command virtio-blk round trips. Spans attribute to the read that
+  // kicked the window, even if a later read consumes the bytes.
+  auto& tr = trace::tracer();
   const std::uint64_t missing = guest_cache_.miss_bytes(inode, begin, end - begin);
   if (missing > 0) {
     const hw::CostModel& cm = host_.costs();
+    const sim::SimTime d0 = host_.sim().now();
     co_await host_.disk().read(missing);
+    if (tr.enabled())
+      tr.record(ctx, trace::SpanKind::kDisk, "disk-read",
+                tr.track(host_.name() + " disk", host_.name()), d0, host_.sim().now(),
+                missing);
     const std::uint64_t cmds =
         (missing + cm.virtio_blk_cmd_bytes - 1) / cm.virtio_blk_cmd_bytes;
+    const sim::SimTime c0 = host_.sim().now();
     co_await host_.sim().delay(cm.virtio_blk_cmd_latency * static_cast<sim::SimTime>(cmds));
+    if (tr.enabled())
+      tr.record(ctx, trace::SpanKind::kCopy, "copy virtio-blk",
+                tr.track(config_.name + " virtio-blk", config_.name), c0, host_.sim().now(),
+                missing);
   }
   guest_cache_.fill(inode, begin, end - begin);
   ra->done = std::max(ra->done, end);
@@ -41,7 +62,7 @@ sim::Task Vm::guest_readahead_task(std::shared_ptr<RaState> ra, std::uint32_t in
 }
 
 sim::Task Vm::ensure_guest_resident(std::uint32_t inode, std::uint64_t offset,
-                                    std::uint64_t n) {
+                                    std::uint64_t n, trace::Ctx ctx) {
   const hw::CostModel& cm = host_.costs();
   auto [it, inserted] = ra_.try_emplace(inode);
   if (inserted) it->second = std::make_shared<RaState>(host_.sim());
@@ -65,24 +86,36 @@ sim::Task Vm::ensure_guest_resident(std::uint32_t inode, std::uint64_t offset,
     // device; the DMA'd data is then copied into guest memory (the first
     // of the paper's five copies).
     co_await run_vcpu(cm.virtio_per_segment * cm.segments(missing),
-                      CycleCategory::kVirtioCopy);
+                      CycleCategory::kVirtioCopy, ctx);
     sim::Event done(host_.sim());
-    io_thread_->submit([this, missing, &cm, &done]() -> sim::Task {
+    io_thread_->submit([this, missing, &cm, &done, ctx]() -> sim::Task {
+      auto& tr = trace::tracer();
       co_await host_.cpu().consume(
           io_thread_->tid(), cm.blk_per_request + cm.blk_per_page * cm.pages(missing),
-          CycleCategory::kDiskRead);
+          CycleCategory::kDiskRead, ctx);
+      const sim::SimTime d0 = host_.sim().now();
       co_await host_.disk().read(missing);
+      if (tr.enabled())
+        tr.record(ctx, trace::SpanKind::kDisk, "disk-read",
+                  tr.track(host_.name() + " disk", host_.name()), d0, host_.sim().now(),
+                  missing);
       // Per-command virtio-blk round-trip latency (QD1, cache=none).
       const std::uint64_t cmds =
           (missing + cm.virtio_blk_cmd_bytes - 1) / cm.virtio_blk_cmd_bytes;
       co_await host_.sim().delay(cm.virtio_blk_cmd_latency * static_cast<sim::SimTime>(cmds));
+      const sim::SimTime c0 = host_.sim().now();
       co_await host_.cpu().consume(io_thread_->tid(), cm.copy_cost(missing),
-                                   CycleCategory::kVirtioCopy);
+                                   CycleCategory::kVirtioCopy, ctx);
+      // First of the vanilla path's five per-byte copies (Fig. 2): DMA'd
+      // disk data lands in guest memory through the virtio-blk vqueue.
+      if (tr.enabled())
+        tr.record(ctx, trace::SpanKind::kCopy, "copy virtio-blk",
+                  static_cast<int>(io_thread_->tid()), c0, host_.sim().now(), missing);
       done.set();
     });
     co_await done.wait();
     // Interrupt completion back on the vCPU.
-    co_await run_vcpu(cm.interrupt_inject, CycleCategory::kInterrupt);
+    co_await run_vcpu(cm.interrupt_inject, CycleCategory::kInterrupt, ctx);
     guest_cache_.fill(inode, offset, n);
     ra.done = std::max(ra.done, end);
   }
@@ -94,23 +127,29 @@ sim::Task Vm::ensure_guest_resident(std::uint32_t inode, std::uint64_t offset,
       ra.inflight_end <= ra.done) {
     const std::uint64_t ra_end = std::min(file_size, ra.done + kGuestReadahead);
     ra.inflight_end = ra_end;
-    host_.sim().spawn(guest_readahead_task(it->second, inode, ra.done, ra_end));
+    host_.sim().spawn(guest_readahead_task(it->second, inode, ra.done, ra_end, ctx));
   }
 }
 
 sim::Task Vm::fs_read(std::uint32_t inode, std::uint64_t offset, std::uint64_t len,
-                      mem::Buffer& out, CycleCategory app_cat, bool copy_to_app) {
+                      mem::Buffer& out, CycleCategory app_cat, bool copy_to_app,
+                      trace::Ctx ctx) {
   const hw::CostModel& cm = host_.costs();
   // Guest block layer / VFS submit path on the vCPU.
-  co_await run_vcpu(cm.blk_per_request, CycleCategory::kDiskRead);
-  co_await ensure_guest_resident(inode, offset, len);
+  co_await run_vcpu(cm.blk_per_request, CycleCategory::kDiskRead, ctx);
+  co_await ensure_guest_resident(inode, offset, len, ctx);
 
   // The actual bytes (pure data plane — identical on every path).
   out = fs_->read(inode, offset, len);
 
   if (copy_to_app) {
     // Kernel buffer -> application buffer copy, charged to the app.
-    co_await run_vcpu(cm.copy_cost(out.size()), app_cat);
+    auto& tr = trace::tracer();
+    const sim::SimTime c0 = host_.sim().now();
+    co_await run_vcpu(cm.copy_cost(out.size()), app_cat, ctx);
+    if (tr.enabled())
+      tr.record(ctx, trace::SpanKind::kCopy, "copy kernel->app", static_cast<int>(vcpu_),
+                c0, host_.sim().now(), out.size());
   }
 }
 

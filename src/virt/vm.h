@@ -22,6 +22,7 @@
 #include "mem/page_cache.h"
 #include "sim/sync.h"
 #include "sim/task.h"
+#include "trace/tracer.h"
 
 namespace vread::virt {
 
@@ -50,7 +51,7 @@ class Vm {
 
   // Executes `cycles` of guest work on the vCPU, serialized with all other
   // guest activity in this VM (a 1-vCPU guest runs one thing at a time).
-  sim::Task run_vcpu(sim::Cycles cycles, hw::CycleCategory cat);
+  sim::Task run_vcpu(sim::Cycles cycles, hw::CycleCategory cat, trace::Ctx ctx = {});
 
   // Guest filesystem on the virtual disk (the authoritative read-write view).
   fs::SimFs& fs() { return *fs_; }
@@ -64,7 +65,8 @@ class Vm {
   // `copy_to_app` is set the final kernel-buffer -> app-buffer copy is
   // charged to `app_cat` (a datanode using sendfile skips it).
   sim::Task fs_read(std::uint32_t inode, std::uint64_t offset, std::uint64_t len,
-                    mem::Buffer& out, hw::CycleCategory app_cat, bool copy_to_app = true);
+                    mem::Buffer& out, hw::CycleCategory app_cat, bool copy_to_app = true,
+                    trace::Ctx ctx = {});
 
   // Appends `data` to `inode` with write-path timing (app copy, virtio-blk,
   // device write, guest-cache fill).
@@ -95,9 +97,9 @@ class Vm {
   // Ensures [offset, offset+n) of `inode` is resident in the guest cache,
   // charging virtio-blk/block-layer/device costs as needed.
   sim::Task ensure_guest_resident(std::uint32_t inode, std::uint64_t offset,
-                                  std::uint64_t n);
+                                  std::uint64_t n, trace::Ctx ctx);
   sim::Task guest_readahead_task(std::shared_ptr<RaState> ra, std::uint32_t inode,
-                                 std::uint64_t begin, std::uint64_t end);
+                                 std::uint64_t begin, std::uint64_t end, trace::Ctx ctx);
   Host& host_;
   Config config_;
   hw::ThreadId vcpu_;

@@ -12,8 +12,9 @@ TcpConn::TcpConn(VirtualNetwork& net, Vm& initiator, Vm& acceptor,
 }
 
 sim::Task TcpConn::send(int side, mem::Buffer data, CycleCategory copy_cat,
-                        bool from_app_buffer) {
+                        bool from_app_buffer, trace::Ctx ctx) {
   const hw::CostModel& cm = net_.costs_;
+  auto& tr = trace::tracer();
   Vm& self = vm_of(side);
   const int from = side;
   const int to = 1 - from;
@@ -24,17 +25,26 @@ sim::Task TcpConn::send(int side, mem::Buffer data, CycleCategory copy_cat,
     co_await sides_[static_cast<std::size_t>(to)]->window_sem.acquire(n);
 
     // Guest TCP transmit path on the sender's vCPU.
-    co_await self.run_vcpu(cm.tcp_tx_per_segment, CycleCategory::kGuestNetTx);
+    co_await self.run_vcpu(cm.tcp_tx_per_segment, CycleCategory::kGuestNetTx, ctx);
     if (from_app_buffer) {
       // Copy: app buffer -> kernel socket buffer (skipped by sendfile).
-      co_await self.run_vcpu(cm.copy_cost(n), copy_cat);
+      const sim::SimTime c0 = net_.sim_.now();
+      co_await self.run_vcpu(cm.copy_cost(n), copy_cat, ctx);
+      if (tr.enabled())
+        tr.record(ctx, trace::SpanKind::kCopy, "copy app->skb",
+                  static_cast<int>(self.vcpu_tid()), c0, net_.sim_.now(), n);
     }
     // Copy: socket buffer -> virtio TX ring, plus vqueue descriptor work.
+    const sim::SimTime c1 = net_.sim_.now();
     co_await self.run_vcpu(cm.virtio_per_segment + cm.copy_cost(n),
-                           CycleCategory::kVirtioCopy);
+                           CycleCategory::kVirtioCopy, ctx);
+    if (tr.enabled())
+      tr.record(ctx, trace::SpanKind::kCopy, "copy skb->tx-ring",
+                static_cast<int>(self.vcpu_tid()), c1, net_.sim_.now(), n);
 
     Segment seg;
     seg.data = data.slice(offset, n);
+    seg.ctx = ctx;
     transmit(from, std::move(seg));
     offset += n;
     ++net_.segments_sent_;
@@ -44,7 +54,13 @@ sim::Task TcpConn::send(int side, mem::Buffer data, CycleCategory copy_cat,
 
 sim::Task TcpConn::wire_hop(hw::HostId src, std::uint64_t bytes, Vm* receiver,
                             std::shared_ptr<Segment> seg, int to_side) {
+  auto& tr = trace::tracer();
+  const trace::Ctx ctx = seg->ctx;
+  const sim::SimTime t0 = net_.sim_.now();
   co_await net_.lan_.transfer(src, bytes);
+  if (tr.enabled())
+    tr.record(ctx, trace::SpanKind::kTransport, "lan-wire", tr.track("lan-wire", "lan"),
+              t0, net_.sim_.now(), bytes);
   deliver_via_receiver_vhost(*receiver, std::move(seg), to_side, /*from_wire=*/true);
 }
 
@@ -61,9 +77,15 @@ void TcpConn::transmit(int from_side, Segment seg) {
   auto seg_ptr = std::make_shared<Segment>(std::move(seg));
   sender->io_thread().submit(
       [this, sender, receiver, seg_ptr, n, &cm, same_host, to_side]() -> sim::Task {
+        auto& tr = trace::tracer();
+        const trace::Ctx ctx = seg_ptr->ctx;
+        const sim::SimTime c0 = net_.sim_.now();
         co_await sender->host().cpu().consume(sender->io_thread().tid(),
                                               cm.vhost_per_segment + cm.copy_cost(n),
-                                              CycleCategory::kVhostNet);
+                                              CycleCategory::kVhostNet, ctx);
+        if (tr.enabled() && n > 0)
+          tr.record(ctx, trace::SpanKind::kCopy, "copy vhost-pull",
+                    static_cast<int>(sender->io_thread().tid()), c0, net_.sim_.now(), n);
         if (same_host) {
           // Bridge delivery straight to the receiver VM's vhost thread.
           deliver_via_receiver_vhost(*receiver, seg_ptr, to_side, /*from_wire=*/false);
@@ -71,7 +93,7 @@ void TcpConn::transmit(int from_side, Segment seg) {
           // Host kernel TX processing, then the physical wire.
           co_await sender->host().cpu().consume(
               sender->io_thread().tid(), cm.hostnet_per_segment,
-              CycleCategory::kHostNet);
+              CycleCategory::kHostNet, ctx);
           net_.sim_.spawn(
               wire_hop(sender->host().lan_id(), n, receiver, seg_ptr, to_side));
         }
@@ -86,21 +108,27 @@ void TcpConn::deliver_via_receiver_vhost(Vm& receiver, std::shared_ptr<Segment> 
   const bool shm_path = net_.intervm_shm_ && !from_wire;
   recv->io_thread().submit(
       [this, recv, seg, to_side, n, &cm, from_wire, shm_path]() -> sim::Task {
+        auto& tr = trace::tracer();
+        const trace::Ctx ctx = seg->ctx;
         if (from_wire) {
           // Host kernel RX processing for traffic arriving off the NIC.
           co_await recv->host().cpu().consume(recv->io_thread().tid(),
                                               cm.hostnet_per_segment,
-                                              CycleCategory::kHostNet);
+                                              CycleCategory::kHostNet, ctx);
         }
         // vhost-net per-segment work, then the copy into the virtio RX
         // ring — the copy the §2.2 inter-VM shared-memory alternative
         // eliminates (pages are granted, not copied).
         co_await recv->host().cpu().consume(recv->io_thread().tid(),
                                             cm.vhost_per_segment,
-                                            CycleCategory::kVhostNet);
+                                            CycleCategory::kVhostNet, ctx);
         if (!shm_path) {
+          const sim::SimTime c0 = net_.sim_.now();
           co_await recv->host().cpu().consume(recv->io_thread().tid(), cm.copy_cost(n),
-                                              CycleCategory::kVirtioCopy);
+                                              CycleCategory::kVirtioCopy, ctx);
+          if (tr.enabled() && n > 0)
+            tr.record(ctx, trace::SpanKind::kCopy, "copy vhost->rx-ring",
+                      static_cast<int>(recv->io_thread().tid()), c0, net_.sim_.now(), n);
         }
         enqueue_rx(to_side, std::move(*seg));
       });
@@ -117,8 +145,9 @@ void TcpConn::enqueue_rx(int to_side, Segment seg) {
 }
 
 sim::Task TcpConn::recv_loop(int my_side, std::uint64_t want, bool exact,
-                             mem::Buffer& out, CycleCategory copy_cat) {
+                             mem::Buffer& out, CycleCategory copy_cat, trace::Ctx ctx) {
   const hw::CostModel& cm = net_.costs_;
+  auto& tr = trace::tracer();
   Vm& self = vm_of(my_side);
   Side& side = *sides_[static_cast<std::size_t>(my_side)];
   out = mem::Buffer();
@@ -134,16 +163,21 @@ sim::Task TcpConn::recv_loop(int my_side, std::uint64_t want, bool exact,
       continue;
     }
     Segment& seg = side.rx.front();
+    if (seg.ctx) side.last_rx_ctx = seg.ctx;
     if (!seg.charged) {
       // Guest TCP receive processing + virtual interrupt, on first touch.
       co_await self.run_vcpu(cm.tcp_rx_per_segment + cm.interrupt_inject,
-                             CycleCategory::kGuestNetRx);
+                             CycleCategory::kGuestNetRx, ctx);
       seg.charged = true;
     }
     const std::uint64_t avail = seg.data.size() - seg.consumed;
     const std::uint64_t take = std::min(avail, want - out.size());
     // Copy: kernel socket buffer -> application buffer.
-    co_await self.run_vcpu(cm.copy_cost(take), copy_cat);
+    const sim::SimTime c0 = net_.sim_.now();
+    co_await self.run_vcpu(cm.copy_cost(take), copy_cat, ctx);
+    if (tr.enabled())
+      tr.record(ctx, trace::SpanKind::kCopy, "copy skb->app",
+                static_cast<int>(self.vcpu_tid()), c0, net_.sim_.now(), take);
     out.append(seg.data.data() + seg.consumed, take);
     seg.consumed += take;
     side.window_sem.release(take);
@@ -152,14 +186,14 @@ sim::Task TcpConn::recv_loop(int my_side, std::uint64_t want, bool exact,
 }
 
 sim::Task TcpConn::recv_exact(int side, std::uint64_t n, mem::Buffer& out,
-                              CycleCategory copy_cat) {
-  co_await recv_loop(side, n, /*exact=*/true, out, copy_cat);
+                              CycleCategory copy_cat, trace::Ctx ctx) {
+  co_await recv_loop(side, n, /*exact=*/true, out, copy_cat, ctx);
   if (out.size() < n) throw NetError("EOF before " + std::to_string(n) + " bytes");
 }
 
 sim::Task TcpConn::recv_some(int side, std::uint64_t max, mem::Buffer& out,
-                             CycleCategory copy_cat) {
-  co_await recv_loop(side, max, /*exact=*/false, out, copy_cat);
+                             CycleCategory copy_cat, trace::Ctx ctx) {
+  co_await recv_loop(side, max, /*exact=*/false, out, copy_cat, ctx);
 }
 
 void TcpConn::close(int side) {

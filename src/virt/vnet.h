@@ -50,21 +50,28 @@ class TcpConn {
   // because both ends may live in the SAME VM (loopback connections, e.g.
   // short-circuit fallbacks).
   sim::Task send(int side, mem::Buffer data, hw::CycleCategory copy_cat,
-                 bool from_app_buffer = true);
+                 bool from_app_buffer = true, trace::Ctx ctx = {});
 
   // Receives exactly `n` bytes into `out` (throws NetError on premature
   // EOF). `copy_cat` tags the kernel -> app-buffer copy.
   sim::Task recv_exact(int side, std::uint64_t n, mem::Buffer& out,
-                       hw::CycleCategory copy_cat);
+                       hw::CycleCategory copy_cat, trace::Ctx ctx = {});
 
   // Receives 1..max bytes (whatever is available); `out` is empty at EOF.
   sim::Task recv_some(int side, std::uint64_t max, mem::Buffer& out,
-                      hw::CycleCategory copy_cat);
+                      hw::CycleCategory copy_cat, trace::Ctx ctx = {});
 
   // Half-close from `side`: the peer sees EOF after consuming buffered data.
   void close(int side);
 
   Vm& vm_of(int side) { return *sides_[static_cast<std::size_t>(side)]->vm; }
+
+  // Trace context of the most recent traced segment consumed by `side` —
+  // how a server learns which client read a received request belongs to
+  // without widening the wire format (the ctx rides the segments).
+  trace::Ctx last_rx_ctx(int side) const {
+    return sides_[static_cast<std::size_t>(side)]->last_rx_ctx;
+  }
 
  private:
   friend class VirtualNetwork;
@@ -74,6 +81,8 @@ class TcpConn {
     std::uint64_t consumed = 0;
     bool charged = false;  // guest TCP rx processing charged yet?
     bool fin = false;
+    trace::Ctx ctx{};  // sender's read context rides the segment so host-
+                       // side and receiver-side copies attribute correctly
   };
 
   struct Side {
@@ -84,6 +93,7 @@ class TcpConn {
     sim::Event rx_event;
     sim::Semaphore window_sem;  // space left in this side's receive buffer
     bool peer_closed = false;
+    trace::Ctx last_rx_ctx{};  // ctx of the newest traced segment consumed
   };
 
   // Hands one segment to the sender-side vhost thread and onward to
@@ -96,7 +106,7 @@ class TcpConn {
                      std::shared_ptr<Segment> seg, int to_side);
   void enqueue_rx(int to_side, Segment seg);
   sim::Task recv_loop(int side, std::uint64_t want, bool exact, mem::Buffer& out,
-                      hw::CycleCategory copy_cat);
+                      hw::CycleCategory copy_cat, trace::Ctx ctx);
 
   VirtualNetwork& net_;
   std::vector<std::unique_ptr<Side>> sides_;
@@ -113,17 +123,18 @@ struct TcpSocket {
   Vm& vm() const { return conn->vm_of(side); }
 
   sim::Task send(mem::Buffer data, hw::CycleCategory copy_cat,
-                 bool from_app_buffer = true) const {
-    return conn->send(side, std::move(data), copy_cat, from_app_buffer);
+                 bool from_app_buffer = true, trace::Ctx ctx = {}) const {
+    return conn->send(side, std::move(data), copy_cat, from_app_buffer, ctx);
   }
-  sim::Task recv_exact(std::uint64_t n, mem::Buffer& out,
-                       hw::CycleCategory copy_cat) const {
-    return conn->recv_exact(side, n, out, copy_cat);
+  sim::Task recv_exact(std::uint64_t n, mem::Buffer& out, hw::CycleCategory copy_cat,
+                       trace::Ctx ctx = {}) const {
+    return conn->recv_exact(side, n, out, copy_cat, ctx);
   }
-  sim::Task recv_some(std::uint64_t max, mem::Buffer& out,
-                      hw::CycleCategory copy_cat) const {
-    return conn->recv_some(side, max, out, copy_cat);
+  sim::Task recv_some(std::uint64_t max, mem::Buffer& out, hw::CycleCategory copy_cat,
+                      trace::Ctx ctx = {}) const {
+    return conn->recv_some(side, max, out, copy_cat, ctx);
   }
+  trace::Ctx last_rx_ctx() const { return conn->last_rx_ctx(side); }
   void close() const { conn->close(side); }
 };
 

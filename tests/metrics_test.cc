@@ -84,6 +84,17 @@ TEST(LatencyRecorder, BasicStats) {
   EXPECT_EQ(rec.percentile(100), 100000);
 }
 
+TEST(LatencyRecorder, EmptyRecorderStatsAreZero) {
+  // Regression: min()/max() on an empty recorder used to dereference
+  // *min_element(end, end). All stats of "no samples" are defined as 0.
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.min(), 0);
+  EXPECT_EQ(rec.max(), 0);
+  EXPECT_DOUBLE_EQ(rec.mean(), 0.0);
+  EXPECT_EQ(rec.percentile(50), 0);
+}
+
 TEST(Stats, Throughput) {
   EXPECT_DOUBLE_EQ(throughput_mbps(100'000'000, sim::sec(1)), 100.0);
   EXPECT_DOUBLE_EQ(throughput_mbps(50'000'000, sim::ms(500)), 100.0);

@@ -1,0 +1,352 @@
+// Tracing subsystem coverage: zero-overhead-when-disabled (no spans, and
+// bit-identical simulation results with tracing on vs. off), span-tree
+// invariants over a real end-to-end run (single rooted tree per read,
+// scheduler spans exclusive per thread), the paper's copy arithmetic
+// measured from spans (5 copies vanilla vs. 2 vRead, Fig. 2), retry /
+// fallback event markers under an injected fault schedule, aggregator
+// consistency, and a golden-file check of the Chrome trace_event exporter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "apps/cluster.h"
+#include "apps/dfsio.h"
+#include "core/libvread.h"
+#include "core/vread_daemon.h"
+#include "fault/fault.h"
+#include "mem/buffer.h"
+#include "trace/aggregate.h"
+#include "trace/chrome_export.h"
+#include "trace/tracer.h"
+
+namespace vread::trace {
+namespace {
+
+using apps::Cluster;
+using apps::ClusterConfig;
+using apps::DfsIoResult;
+using apps::TestDfsIo;
+using mem::Buffer;
+
+// Every test starts and ends with a clean, disabled global tracer (and a
+// clean fault registry: some suites load schedules).
+struct TracerGuard {
+  TracerGuard() {
+    tracer().disable();
+    tracer().clear();
+    fault::registry().reset();
+  }
+  ~TracerGuard() {
+    tracer().disable();
+    tracer().clear();
+    fault::registry().reset();
+  }
+};
+
+ClusterConfig small_blocks() {
+  ClusterConfig cfg;
+  cfg.block_size = 4 * 1024 * 1024;
+  return cfg;
+}
+
+struct Bed {
+  Cluster cluster;
+  explicit Bed(ClusterConfig cfg = small_blocks()) : cluster(cfg) {
+    cluster.add_host("host1");
+    cluster.add_host("host2");
+    cluster.add_vm("host1", "client");
+    cluster.create_namenode("client");
+    cluster.add_datanode("host1", "datanode1");
+    cluster.add_datanode("host2", "datanode2");
+    cluster.add_client("client");
+  }
+};
+
+struct RunResult {
+  std::uint64_t checksum = 0;
+  std::uint64_t bytes = 0;
+  sim::SimTime elapsed = 0;
+  std::uint64_t events = 0;
+};
+
+// One cold co-located (or remote) read, optionally vRead, optionally traced.
+RunResult run_workload(bool vread, bool traced, bool remote = false,
+                       std::uint64_t size = 8 * 1024 * 1024) {
+  Bed bed;
+  bed.cluster.preload_file("/data", size, 77,
+                           {{remote ? "datanode2" : "datanode1"}});
+  if (vread) bed.cluster.enable_vread();
+  bed.cluster.drop_all_caches();
+  if (traced) tracer().enable(bed.cluster.sim());
+  DfsIoResult r;
+  bed.cluster.sim().spawn(TestDfsIo::read(bed.cluster, "client", "/data", 1 << 20, r));
+  bed.cluster.sim().run();
+  tracer().disable();
+  return RunResult{r.checksum, r.bytes, bed.cluster.sim().now(),
+                   bed.cluster.sim().events_dispatched()};
+}
+
+// ---------------------------------------------------------------- disabled
+
+TEST(TraceDisabled, RecordsNothingAndCostsNothing) {
+  TracerGuard g;
+  RunResult r = run_workload(/*vread=*/true, /*traced=*/false);
+  EXPECT_EQ(r.checksum, Buffer::deterministic(77, 0, 8 * 1024 * 1024).checksum());
+  // The "zero allocation" counter: a disabled tracer is never touched.
+  EXPECT_EQ(tracer().spans_recorded(), 0u);
+  EXPECT_EQ(tracer().reads_started(), 0u);
+}
+
+TEST(TraceDisabled, EnablingTracingDoesNotChangeTheSimulation) {
+  TracerGuard g;
+  for (bool vread : {false, true}) {
+    RunResult off = run_workload(vread, /*traced=*/false);
+    tracer().clear();
+    RunResult on = run_workload(vread, /*traced=*/true);
+    EXPECT_GT(tracer().spans_recorded(), 0u);
+    // Bit-identical results: tracing only appends spans, it never charges
+    // cycles, never co_awaits and never branches simulation logic.
+    EXPECT_EQ(off.checksum, on.checksum) << "vread=" << vread;
+    EXPECT_EQ(off.bytes, on.bytes) << "vread=" << vread;
+    EXPECT_EQ(off.elapsed, on.elapsed) << "vread=" << vread;
+    EXPECT_EQ(off.events, on.events) << "vread=" << vread;
+    tracer().clear();
+  }
+}
+
+// ---------------------------------------------------------- tree invariants
+
+TEST(TraceTree, EveryReadHasExactlyOneRootAndContainedSpans) {
+  TracerGuard g;
+  run_workload(/*vread=*/true, /*traced=*/true);
+  const std::vector<Span>& spans = tracer().spans();
+  ASSERT_GT(spans.size(), 0u);
+  ASSERT_GT(tracer().reads_started(), 0u);
+
+  std::map<std::uint32_t, const Span*> roots;
+  for (const Span& s : spans) {
+    if (s.kind != SpanKind::kRead) continue;
+    EXPECT_EQ(s.parent, 0u) << "root spans have no parent";
+    EXPECT_TRUE(roots.emplace(s.read, &s).second)
+        << "read " << s.read << " has two roots";
+  }
+  EXPECT_EQ(roots.size(), tracer().reads_started());
+
+  for (const Span& s : spans) {
+    EXPECT_LE(s.begin, s.end);
+    if (s.kind == SpanKind::kRead || s.read == 0) continue;
+    // Every traced non-root span belongs to a known read and starts after
+    // its root opened. Asynchronous work attributed to the read — host
+    // readahead disk reads and the CPU bursts they trigger — may finish
+    // after the read returned, so end containment only holds for the
+    // synchronous span kinds.
+    auto it = roots.find(s.read);
+    ASSERT_NE(it, roots.end()) << "span " << s.name << " has unknown read";
+    EXPECT_GE(s.begin, it->second->begin) << s.name;
+    if (s.kind != SpanKind::kDisk && s.kind != SpanKind::kCompute &&
+        s.kind != SpanKind::kSyncWait) {
+      EXPECT_LE(s.end, it->second->end) << s.name;
+    }
+  }
+}
+
+TEST(TraceTree, SchedulerSpansAreExclusivePerThread) {
+  TracerGuard g;
+  run_workload(/*vread=*/true, /*traced=*/true);
+  // The scheduler emits one kSyncWait + kCompute pair per finished burst,
+  // and a real thread runs one burst at a time — so on any real tid these
+  // spans must not overlap (synthetic tracks may overlap freely).
+  std::map<int, std::vector<std::pair<sim::SimTime, sim::SimTime>>> by_tid;
+  for (const Span& s : tracer().spans()) {
+    if (s.kind != SpanKind::kCompute && s.kind != SpanKind::kSyncWait) continue;
+    if (tracer().is_track(s.tid)) continue;
+    if (s.begin == s.end) continue;
+    by_tid[s.tid].emplace_back(s.begin, s.end);
+  }
+  ASSERT_FALSE(by_tid.empty());
+  for (auto& [tid, iv] : by_tid) {
+    std::sort(iv.begin(), iv.end());
+    for (std::size_t i = 1; i < iv.size(); ++i) {
+      EXPECT_LE(iv[i - 1].second, iv[i].first)
+          << "overlapping scheduler spans on tid " << tid;
+    }
+  }
+}
+
+// ------------------------------------------------------------ copy counts
+
+TEST(TraceCopies, VanillaMovesEveryByteFiveTimes) {
+  TracerGuard g;
+  run_workload(/*vread=*/false, /*traced=*/true);
+  const RunSummary s = aggregate(tracer());
+  ASSERT_GT(s.total.bytes, 0u);
+  // Fig. 2's vanilla path: virtio-blk, skb->tx-ring, vhost-pull,
+  // vhost->rx-ring, skb->app (the datanode's sendfile skips app->skb).
+  EXPECT_NEAR(s.total.copies(), 5.0, 0.35);
+  EXPECT_TRUE(s.total.copy_by_site.count("copy virtio-blk"));
+  EXPECT_TRUE(s.total.copy_by_site.count("copy vhost-pull"));
+  EXPECT_TRUE(s.total.copy_by_site.count("copy skb->app"));
+}
+
+TEST(TraceCopies, VReadMovesEveryByteTwice) {
+  TracerGuard g;
+  run_workload(/*vread=*/true, /*traced=*/true);
+  const RunSummary s = aggregate(tracer());
+  ASSERT_GT(s.total.bytes, 0u);
+  // The paper's two standing copies: daemon buffer -> shm ring -> app.
+  EXPECT_NEAR(s.total.copies(), 2.0, 0.1);
+  EXPECT_TRUE(s.total.copy_by_site.count("copy daemon->ring"));
+  EXPECT_TRUE(s.total.copy_by_site.count("copy ring->app"));
+  // No virtual-network copies at all on the shortcut path.
+  EXPECT_FALSE(s.total.copy_by_site.count("copy vhost-pull"));
+  EXPECT_FALSE(s.total.copy_by_site.count("copy skb->app"));
+}
+
+// -------------------------------------------------------- fault markers
+
+TEST(TraceFaults, RetryAndFallbackSpansAppearUnderFaultSchedule) {
+  TracerGuard g;
+  // Lost shm requests force libvread retries; a downed RDMA link forces
+  // rdma->tcp failovers on the remote leg.
+  fault::registry().load_schedule(
+      "virt.shm.timeout:every=7,max=3;core.daemon.rdma_down:every=2");
+  run_workload(/*vread=*/true, /*traced=*/true, /*remote=*/true);
+  bool saw_retry = false, saw_failover = false;
+  for (const Span& s : tracer().spans()) {
+    if (s.kind == SpanKind::kRetry) saw_retry = true;
+    if (s.kind == SpanKind::kFallback &&
+        std::string_view(s.name) == "rdma->tcp") {
+      saw_failover = true;
+    }
+  }
+  EXPECT_TRUE(saw_retry);
+  EXPECT_TRUE(saw_failover);
+  const RunSummary s = aggregate(tracer());
+  EXPECT_GT(s.total.retries + s.total.fallbacks, 0);
+}
+
+TEST(TraceFaults, SocketFallbackIsMarked) {
+  TracerGuard g;
+  // Peer permanently down: remote opens exhaust their retries and the
+  // client degrades to the vanilla socket path — visible as a
+  // vread->socket fallback instant, with the read still completing.
+  fault::registry().load_schedule("core.daemon.peer_down:every=1");
+  RunResult r = run_workload(/*vread=*/true, /*traced=*/true, /*remote=*/true);
+  EXPECT_EQ(r.checksum, Buffer::deterministic(77, 0, 8 * 1024 * 1024).checksum());
+  bool saw = false;
+  for (const Span& s : tracer().spans()) {
+    if (s.kind == SpanKind::kFallback &&
+        std::string_view(s.name) == "vread->socket") {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+// ----------------------------------------------------------- aggregator
+
+TEST(TraceAggregate, TotalsAreTheSumOfReads) {
+  TracerGuard g;
+  run_workload(/*vread=*/true, /*traced=*/true);
+  const RunSummary s = aggregate(tracer());
+  ASSERT_GT(s.reads.size(), 0u);
+  std::uint64_t bytes = 0, copy = 0;
+  sim::SimTime wait = 0, elapsed = 0;
+  for (const ReadBreakdown& r : s.reads) {
+    EXPECT_GT(r.read, 0u);
+    EXPECT_GE(r.end, r.begin);
+    bytes += r.bytes;
+    copy += r.copy_bytes;
+    wait += r.sync_wait;
+    elapsed += r.elapsed();
+  }
+  EXPECT_EQ(s.total.bytes, bytes);
+  EXPECT_EQ(s.total.copy_bytes, copy);
+  EXPECT_EQ(s.total.sync_wait, wait);
+  EXPECT_EQ(s.total.elapsed(), elapsed);
+  // Table printers run without tripping assertions on real data.
+  std::ostringstream os;
+  print_read_table(os, s);
+  print_copy_sites(os, s);
+  EXPECT_FALSE(os.str().empty());
+}
+
+// ---------------------------------------------------------------- export
+
+TEST(TraceExport, GoldenChromeTrace) {
+  TracerGuard g;
+  // Synthetic, fully hand-controlled tracer state: two threads in two
+  // groups, one track, one read with a copy span, a background wait and a
+  // retry instant.
+  sim::Simulation sim;
+  metrics::CycleAccounting acct;
+  const metrics::ThreadId app = acct.register_thread("app", "vm1");
+  const metrics::ThreadId io = acct.register_thread("io", "hostA");
+  Tracer& tr = tracer();
+  tr.enable(sim);
+  const int wire = tr.track("lan-wire", "lan");
+  Ctx ctx = tr.begin_read("read1", static_cast<int>(app));
+  tr.record(ctx, SpanKind::kCopy, "copy ring->app", static_cast<int>(app), 1000, 3500,
+            4096);
+  tr.record({}, SpanKind::kSyncWait, "cpu-queue", static_cast<int>(io), 0, 250);
+  tr.record(ctx, SpanKind::kTransport, "rdma-wire", wire, 2000, 2600, 4096);
+  tr.instant(ctx, SpanKind::kRetry, "libvread-retry", static_cast<int>(app));
+  tr.end_read(ctx, 4096);
+  tr.disable();
+
+  std::ostringstream os;
+  write_chrome_trace(os, tr, acct);
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"vm1\"}},\n"
+      "{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\",\"args\":{\"name\":\"hostA\"}},\n"
+      "{\"ph\":\"M\",\"pid\":3,\"name\":\"process_name\",\"args\":{\"name\":\"lan\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"app\"}},\n"
+      "{\"ph\":\"M\",\"pid\":2,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"io\"}},\n"
+      "{\"ph\":\"M\",\"pid\":3,\"tid\":1000000,\"name\":\"thread_name\",\"args\":{\"name\":\"lan-wire\"}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0.000,\"dur\":0.000,\"name\":\"read1\","
+      "\"cat\":\"read\",\"args\":{\"read\":1,\"bytes\":4096}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":1.000,\"dur\":2.500,\"name\":\"copy ring->app\","
+      "\"cat\":\"copy\",\"args\":{\"read\":1,\"bytes\":4096}},\n"
+      "{\"ph\":\"X\",\"pid\":2,\"tid\":1,\"ts\":0.000,\"dur\":0.250,\"name\":\"cpu-queue\","
+      "\"cat\":\"sync-wait\",\"args\":{\"read\":0,\"bytes\":0}},\n"
+      "{\"ph\":\"X\",\"pid\":3,\"tid\":1000000,\"ts\":2.000,\"dur\":0.600,\"name\":\"rdma-wire\","
+      "\"cat\":\"transport\",\"args\":{\"read\":1,\"bytes\":4096}},\n"
+      "{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":0.000,\"s\":\"t\",\"name\":\"libvread-retry\","
+      "\"cat\":\"retry\",\"args\":{\"read\":1,\"bytes\":0}}\n"
+      "]}\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(TraceExport, RealRunProducesWellFormedEvents) {
+  TracerGuard g;
+  Bed bed;
+  bed.cluster.preload_file("/data", 8 * 1024 * 1024, 77, {{"datanode1"}});
+  bed.cluster.enable_vread();
+  bed.cluster.drop_all_caches();
+  tracer().enable(bed.cluster.sim());
+  DfsIoResult r;
+  bed.cluster.sim().spawn(TestDfsIo::read(bed.cluster, "client", "/data", 1 << 20, r));
+  bed.cluster.sim().run();
+  tracer().disable();
+
+  std::ostringstream os;
+  write_chrome_trace(os, tracer(), bed.cluster.acct());
+  const std::string out = os.str();
+  // One event line per span (plus metadata); braces balance; the file is
+  // the documented envelope.
+  EXPECT_EQ(out.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(out.substr(out.size() - 4), "\n]}\n");
+  std::size_t events = 0;
+  for (std::size_t p = 0; (p = out.find("{\"ph\":\"", p)) != std::string::npos; ++p)
+    ++events;
+  EXPECT_GT(events, tracer().spans_recorded());  // spans + metadata records
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+}
+
+}  // namespace
+}  // namespace vread::trace

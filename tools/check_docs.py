@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Documentation lint for CI.
+
+Checks, over every tracked *.md file:
+  1. relative markdown links ([text](path) and [text](path#anchor)) resolve
+     to files/directories that exist in the repository;
+  2. every `./build/<dir>/<name>` command mentioned in a fenced ``sh``
+     block refers to a target that some CMakeLists.txt actually defines
+     (add_executable/vread_test/plain name mention), so the docs can't
+     drift ahead of the build.
+
+Exit code 0 = clean; 1 = problems (all printed).
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"```sh\n(.*?)```", re.S)
+BINARY_RE = re.compile(r"\./build[^/\s]*/(?:[\w.-]+/)*([\w.-]+)")
+
+
+def md_files():
+    skip = {"build", "build-asan", ".git"}
+    for p in sorted(ROOT.rglob("*.md")):
+        if not any(part in skip for part in p.parts):
+            yield p
+
+
+def check_links(path, text, problems):
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue  # pure in-page anchor
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(ROOT)}: broken link -> {m.group(1)}")
+
+
+def cmake_targets():
+    """Every name a CMakeLists.txt could turn into a build/<dir>/<name> binary."""
+    names = set()
+    decl = re.compile(r"(?:add_executable|vread_test|vread_bench|vread_example)\s*\(\s*([\w.-]+)")
+    for cml in ROOT.rglob("CMakeLists.txt"):
+        if "build" in cml.parts:
+            continue
+        for m in decl.finditer(cml.read_text()):
+            names.add(m.group(1))
+    return names
+
+
+def check_sh_blocks(path, text, targets, problems):
+    for block in FENCE_RE.finditer(text):
+        for m in BINARY_RE.finditer(block.group(1)):
+            name = m.group(1)
+            if "." in name:  # an artifact file (foo.trace.json), not a target
+                continue
+            if name not in targets and name != "*":
+                problems.append(
+                    f"{path.relative_to(ROOT)}: sh block references "
+                    f"'{m.group(0)}' but no CMake target '{name}' exists"
+                )
+
+
+def main():
+    problems = []
+    targets = cmake_targets()
+    if not targets:
+        problems.append("no CMake targets found — is this the repo root?")
+    for path in md_files():
+        text = path.read_text()
+        check_links(path, text, problems)
+        check_sh_blocks(path, text, targets, problems)
+    for p in problems:
+        print(p)
+    print(f"check_docs: {'FAIL' if problems else 'ok'} "
+          f"({len(list(md_files()))} md files, {len(targets)} targets)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

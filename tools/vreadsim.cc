@@ -12,6 +12,7 @@
 //   vreadsim --vread --lookbusy 2 --reread --breakdown
 #include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -19,6 +20,9 @@
 #include "apps/dfsio.h"
 #include "mem/buffer.h"
 #include "metrics/table.h"
+#include "trace/aggregate.h"
+#include "trace/chrome_export.h"
+#include "trace/tracer.h"
 
 using namespace vread;
 
@@ -35,6 +39,8 @@ struct Options {
   std::uint64_t file_mb = 64;
   std::uint64_t block_mb = 16;
   std::uint64_t buffer_kb = 1024;
+  bool trace = false;
+  std::string trace_file = "vreadsim.trace.json";
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -49,7 +55,11 @@ struct Options {
       << "  --block-mb N           HDFS block size (default 16)\n"
       << "  --buffer-kb N          read request size (default 1024)\n"
       << "  --reread               also measure the cache-warm second pass\n"
-      << "  --breakdown            print per-group CPU category breakdown\n";
+      << "  --breakdown            print per-group CPU category breakdown\n"
+      << "  --trace [FILE]         per-read span tracing: prints the copy/sync\n"
+      << "                         decomposition and writes a Chrome trace_event\n"
+      << "                         JSON (default vreadsim.trace.json; load it in\n"
+      << "                         Perfetto / chrome://tracing)\n";
   std::exit(2);
 }
 
@@ -81,6 +91,9 @@ Options parse(int argc, char** argv) {
       o.block_mb = std::stoull(next());
     } else if (a == "--buffer-kb") {
       o.buffer_kb = std::stoull(next());
+    } else if (a == "--trace") {
+      o.trace = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') o.trace_file = argv[++i];
     } else {
       usage(argv[0]);
     }
@@ -141,6 +154,7 @@ int main(int argc, char** argv) {
                                          : core::VReadDaemon::Transport::kTcp);
   }
   c.drop_all_caches();
+  if (o.trace) trace::tracer().enable(c.sim());
 
   std::cout << "scenario=" << o.scenario << " system=" << (o.vread ? "vRead" : "vanilla")
             << " transport=" << o.transport << " freq=" << o.freq_ghz << "GHz"
@@ -166,6 +180,19 @@ int main(int argc, char** argv) {
   if (o.breakdown) {
     std::cout << "\nCPU breakdown over the whole run:\n";
     print_breakdown(c, w);
+  }
+  if (o.trace) {
+    auto& tr = trace::tracer();
+    const trace::RunSummary s = trace::aggregate(tr);
+    std::cout << "\nPer-read decomposition (" << s.reads.size() << " reads, "
+              << tr.spans_recorded() << " spans):\n";
+    trace::print_read_table(std::cout, s);
+    trace::print_copy_sites(std::cout, s);
+    std::ofstream f(o.trace_file);
+    trace::write_chrome_trace(f, tr, c.acct());
+    std::cout << "trace written to " << o.trace_file
+              << " (load in Perfetto or chrome://tracing)\n";
+    tr.disable();
   }
   return 0;
 }
