@@ -35,21 +35,28 @@ Result run(bool direct) {
 }  // namespace
 }  // namespace vread::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vread::bench;
   vread::metrics::print_banner("Ablation: direct image access (paper §6)",
                                "vRead via loop-mounted fs vs raw image reads, "
                                "co-located, 2.0 GHz");
+  BenchReport report("ablation_direct_read");
+  report.param("freq_ghz", 2.0).param("file_bytes", kBytes);
   Result mounted = run(false);
   Result direct = run(true);
   vread::metrics::TablePrinter t({"design", "read (MBps)", "re-read (MBps)"});
-  t.add_row({"mounted fs (paper's choice)", vread::metrics::fmt(mounted.read),
-             vread::metrics::fmt(mounted.reread)});
-  t.add_row({"direct image access", vread::metrics::fmt(direct.read),
-             vread::metrics::fmt(direct.reread)});
+  t.add_row({"mounted fs (paper's choice)", vread::metrics::Cell(mounted.read),
+             vread::metrics::Cell(mounted.reread)});
+  t.add_row({"direct image access", vread::metrics::Cell(direct.read),
+             vread::metrics::Cell(direct.reread)});
   t.print();
+  report.metric("mounted_read_mbps", mounted.read, "MBps", "higher")
+      .metric("mounted_reread_mbps", mounted.reread, "MBps", "higher")
+      .metric("direct_read_mbps", direct.read, "MBps", "higher")
+      .metric("direct_reread_mbps", direct.reread, "MBps", "higher");
   std::cout << "\nExpected shape: the direct design loses the host page cache, so its\n"
                "re-read collapses back to cold-read speed (plus translation overhead) —\n"
                "exactly the drawback the paper cites for rejecting it.\n";
+  report.maybe_write(argc, argv);
   return 0;
 }

@@ -84,20 +84,26 @@ int main(int argc, char** argv) {
   vread::metrics::print_banner(
       "Ablation: vRead under fault load",
       "hybrid scenario, 2.0 GHz; deterministic fault schedule vs healthy");
+  BenchReport report("ablation_faults");
+  report.param("freq_ghz", 2.0).param("file_bytes", kBytes);
   Run vanilla = run(/*vread=*/false, /*faults=*/false);
   Run healthy = run(/*vread=*/true, /*faults=*/false);
   Run faulted = run(/*vread=*/true, /*faults=*/true, trace_requested(argc, argv));
   std::cout << "\n";
   vread::metrics::TablePrinter t({"configuration", "throughput (MBps)", "bytes"});
-  t.add_row({"vanilla HDFS", vread::metrics::fmt(vanilla.mbps),
+  t.add_row({"vanilla HDFS", vread::metrics::Cell(vanilla.mbps),
              vanilla.bytes_ok ? "ok" : "CORRUPT"});
-  t.add_row({"vRead, healthy", vread::metrics::fmt(healthy.mbps),
+  t.add_row({"vRead, healthy", vread::metrics::Cell(healthy.mbps),
              healthy.bytes_ok ? "ok" : "CORRUPT"});
-  t.add_row({"vRead, fault schedule", vread::metrics::fmt(faulted.mbps),
+  t.add_row({"vRead, fault schedule", vread::metrics::Cell(faulted.mbps),
              faulted.bytes_ok ? "ok" : "CORRUPT"});
   t.print();
+  report.metric("vanilla_mbps", vanilla.mbps, "MBps", "higher")
+      .metric("healthy_mbps", healthy.mbps, "MBps", "higher")
+      .metric("faulted_mbps", faulted.mbps, "MBps", "higher");
   std::cout << "\nExpected shape: the faulted run loses throughput to retries, socket\n"
                "fallbacks and cooldown windows but never correctness — degradation is\n"
                "graceful, and the counter tables above show exactly where it went.\n";
+  report.maybe_write(argc, argv);
   return (vanilla.bytes_ok && healthy.bytes_ok && faulted.bytes_ok) ? 0 : 1;
 }

@@ -31,17 +31,21 @@ double run_with_ring(std::size_t slot_count, std::size_t slot_size) {
 }  // namespace
 }  // namespace vread::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vread::bench;
   vread::metrics::print_banner("Ablation: vRead ring geometry",
                                "co-located re-read vs ShmChannel slot count/size "
                                "(default 1024 x 4 KB)");
+  BenchReport report("ablation_slots");
+  report.param("freq_ghz", 2.0).param("file_bytes", kBytes);
   {
     vread::metrics::TablePrinter t({"slots x 4KB", "capacity", "re-read (MBps)"});
     for (std::size_t slots : {16UL, 64UL, 256UL, 1024UL, 4096UL}) {
       double mbps = run_with_ring(slots, 4096);
       t.add_row({std::to_string(slots),
-                 std::to_string(slots * 4096 / 1024) + "KB", vread::metrics::fmt(mbps)});
+                 std::to_string(slots * 4096 / 1024) + "KB", vread::metrics::Cell(mbps)});
+      report.metric("reread_mbps_" + std::to_string(slots) + "slots_4KB", mbps, "MBps",
+                    "higher");
     }
     t.print();
   }
@@ -49,12 +53,15 @@ int main() {
     vread::metrics::TablePrinter t({"slot size (1024 slots)", "re-read (MBps)"});
     for (std::size_t size : {1024UL, 4096UL, 16384UL}) {
       double mbps = run_with_ring(1024, size);
-      t.add_row({std::to_string(size / 1024) + "KB", vread::metrics::fmt(mbps)});
+      t.add_row({std::to_string(size / 1024) + "KB", vread::metrics::Cell(mbps)});
+      report.metric("reread_mbps_1024slots_" + std::to_string(size / 1024) + "KB", mbps,
+                    "MBps", "higher");
     }
     t.print();
   }
   std::cout << "\nExpected shape: throughput climbs with ring capacity and saturates\n"
                "well before the paper's 4 MB default; per-slot overhead mildly favors\n"
                "larger slots.\n";
+  report.maybe_write(argc, argv);
   return 0;
 }

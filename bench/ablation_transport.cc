@@ -39,24 +39,33 @@ Result run(vread::core::VReadDaemon::Transport t) {
 }  // namespace
 }  // namespace vread::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vread::bench;
   vread::metrics::print_banner("Ablation: remote transport",
                                "RDMA (RoCE) vs user-space TCP between vRead daemons, "
                                "remote read, 2.0 GHz");
+  BenchReport report("ablation_transport");
+  report.param("freq_ghz", 2.0).param("file_bytes", kBytes);
   Result rdma = run(vread::core::VReadDaemon::Transport::kRdma);
   Result tcp = run(vread::core::VReadDaemon::Transport::kTcp);
   vread::metrics::TablePrinter t(
       {"transport", "read (MBps)", "re-read (MBps)", "transport CPU (ms)"});
-  t.add_row({"RDMA (RoCE)", vread::metrics::fmt(rdma.read_mbps),
-             vread::metrics::fmt(rdma.reread_mbps),
-             vread::metrics::fmt(rdma.transport_cpu_ms)});
-  t.add_row({"TCP daemons", vread::metrics::fmt(tcp.read_mbps),
-             vread::metrics::fmt(tcp.reread_mbps),
-             vread::metrics::fmt(tcp.transport_cpu_ms)});
+  t.add_row({"RDMA (RoCE)", vread::metrics::Cell(rdma.read_mbps),
+             vread::metrics::Cell(rdma.reread_mbps),
+             vread::metrics::Cell(rdma.transport_cpu_ms)});
+  t.add_row({"TCP daemons", vread::metrics::Cell(tcp.read_mbps),
+             vread::metrics::Cell(tcp.reread_mbps),
+             vread::metrics::Cell(tcp.transport_cpu_ms)});
   t.print();
+  report.metric("rdma_read_mbps", rdma.read_mbps, "MBps", "higher")
+      .metric("tcp_read_mbps", tcp.read_mbps, "MBps", "higher")
+      .metric("rdma_transport_cpu_ms", rdma.transport_cpu_ms, "ms", "lower")
+      .metric("tcp_transport_cpu_ms", tcp.transport_cpu_ms, "ms", "lower")
+      .metric("tcp_rdma_cpu_ratio", tcp.transport_cpu_ms / rdma.transport_cpu_ms, "x",
+              "higher");
   std::cout << "\nTCP/RDMA transport-CPU ratio: "
             << vread::metrics::fmt(tcp.transport_cpu_ms / rdma.transport_cpu_ms, 1)
             << "x (paper: the TCP version 'consumes more CPU cycles', Fig. 8)\n";
+  report.maybe_write(argc, argv);
   return 0;
 }

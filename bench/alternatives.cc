@@ -23,6 +23,7 @@
 
 #include "apps/cluster.h"
 #include "apps/dfsio.h"
+#include "common.h"
 #include "metrics/table.h"
 
 namespace vread::bench {
@@ -98,22 +99,31 @@ const char* name(Alt a) {
 }  // namespace
 }  // namespace vread::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vread::bench;
   vread::metrics::print_banner("Alternatives (paper §2.2)",
                                "cold read throughput of the alternative designs, "
                                "local data vs hybrid (half-remote) data, 2.0 GHz");
+  BenchReport report("alternatives");
+  report.param("freq_ghz", 2.0).param("file_bytes", kBytes);
   Numbers base{};
   vread::metrics::TablePrinter t({"design", "local cold (MBps)", "local re-read (MBps)",
                                   "hybrid cold (MBps)", "hybrid vs vanilla"});
   for (Alt a : {Alt::kVanilla, Alt::kShortCircuit, Alt::kIvshmem, Alt::kVRead}) {
     Numbers n = run(a);
     if (a == Alt::kVanilla) base = n;
-    t.add_row({name(a), vread::metrics::fmt(n.local_mbps),
-               vread::metrics::fmt(n.local_reread_mbps),
-               vread::metrics::fmt(n.hybrid_mbps),
-               vread::metrics::fmt_pct(
+    t.add_row({name(a), vread::metrics::Cell(n.local_mbps),
+               vread::metrics::Cell(n.local_reread_mbps),
+               vread::metrics::Cell(n.hybrid_mbps),
+               vread::metrics::pct_cell(
                    vread::metrics::percent_gain(base.hybrid_mbps, n.hybrid_mbps))});
+    std::string key(name(a));
+    for (char& ch : key) {
+      if (ch == ' ' || ch == '(' || ch == ')' || ch == '-') ch = '_';
+    }
+    report.metric("local_mbps_" + key, n.local_mbps, "MBps", "higher")
+        .metric("local_reread_mbps_" + key, n.local_reread_mbps, "MBps", "higher")
+        .metric("hybrid_mbps_" + key, n.hybrid_mbps, "MBps", "higher");
   }
   t.print();
   std::cout << "\nExpected shape (paper §2.2): short-circuit is unbeatable for CACHED\n"
@@ -122,5 +132,6 @@ int main() {
                "inter-VM shared memory removes only one copy of five; vRead is the\n"
                "only design improving every column from the recommended separated-VM\n"
                "deployment.\n";
+  report.maybe_write(argc, argv);
   return 0;
 }

@@ -6,13 +6,19 @@
 // host is filled with 85 % lookbusy background VMs.
 #pragma once
 
+#include <cmath>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "apps/cluster.h"
 #include "apps/dfsio.h"
+#include "metrics/export.h"
 #include "metrics/table.h"
 #include "trace/aggregate.h"
 #include "trace/chrome_export.h"
@@ -96,6 +102,117 @@ inline DfsIoResult run_dfsio_read(Cluster& c, std::uint64_t buffer = 1 << 20) {
   c.run_job(TestDfsIo::read(c, "client", "/data", buffer, r));
   return r;
 }
+
+// ---- machine-readable bench telemetry ----
+//
+// Every bench binary accepts `--json [FILE]` and, when asked, writes a
+// schema-versioned report: the scenario parameters, the headline metric
+// values (tagged with the direction that counts as better and, where the
+// paper states one, the expected value), and a full dump of the process
+// metrics registry. tools/bench_compare.py diffs two such sets and the CI
+// bench-telemetry job gates on regressions against bench/baseline/.
+inline constexpr const char* kBenchJsonSchema = "vread-bench/1";
+
+class BenchReport {
+ public:
+  // `bench` names the report and its default file (BENCH_<bench>.json).
+  explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+  BenchReport& param(const std::string& key, const std::string& value) {
+    params_.emplace_back(key, "\"" + metrics::json_escape(value) + "\"");
+    return *this;
+  }
+  BenchReport& param(const std::string& key, double value) {
+    params_.emplace_back(key, fmt_number(value));
+    return *this;
+  }
+  BenchReport& param(const std::string& key, std::uint64_t value) {
+    params_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+
+  // `better` is "higher" or "lower" — the direction bench_compare.py
+  // treats as an improvement. `paper_expected` (when the paper states a
+  // number for this cell) rides along for context; it is never gated on.
+  BenchReport& metric(std::string name, double value, std::string unit,
+                      std::string better, double paper_expected = std::nan("")) {
+    metrics_.push_back(Metric{std::move(name), value, std::move(unit),
+                              std::move(better), paper_expected});
+    return *this;
+  }
+
+  bool write(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << "{\n  \"schema\": \"" << kBenchJsonSchema << "\",\n  \"bench\": \""
+      << metrics::json_escape(bench_) << "\",\n  \"params\": {";
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      f << (i ? ",\n" : "\n") << "    \"" << metrics::json_escape(params_[i].first)
+        << "\": " << params_[i].second;
+    }
+    f << "\n  },\n  \"metrics\": [";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      f << (i ? ",\n" : "\n") << "    {\"name\": \"" << metrics::json_escape(m.name)
+        << "\", \"value\": " << fmt_number(m.value) << ", \"unit\": \""
+        << metrics::json_escape(m.unit) << "\", \"better\": \""
+        << metrics::json_escape(m.better) << "\"";
+      if (!std::isnan(m.paper_expected)) {
+        f << ", \"paper_expected\": " << fmt_number(m.paper_expected);
+      }
+      f << '}';
+    }
+    // Full registry dump: the run's counters/gauges/histograms (live
+    // series plus everything retired by torn-down bench clusters).
+    f << "\n  ],\n  \"registry\": ";
+    {
+      std::ostringstream reg;
+      metrics::write_json(reg);
+      std::string doc = reg.str();
+      while (!doc.empty() && doc.back() == '\n') doc.pop_back();
+      f << doc;
+    }
+    f << "\n}\n";
+    return static_cast<bool>(f);
+  }
+
+  // Handles `--json [FILE]`: writes the report when the flag is present
+  // (default file BENCH_<bench>.json) and says where it went.
+  void maybe_write(int argc, char** argv) const {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) != "--json") continue;
+      std::string path = "BENCH_" + bench_ + ".json";
+      if (i + 1 < argc && argv[i + 1][0] != '-') path = argv[i + 1];
+      if (write(path)) {
+        std::cout << "bench telemetry written to " << path << "\n";
+      } else {
+        std::cerr << "failed to write bench telemetry to " << path << "\n";
+        std::exit(1);
+      }
+      return;
+    }
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+    std::string better;
+    double paper_expected;
+  };
+
+  // Round-trippable but stable number formatting for JSON values.
+  static std::string fmt_number(double v) {
+    std::ostringstream ss;
+    ss << std::setprecision(12) << v;
+    return ss.str();
+  }
+
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> params_;  // key -> JSON value
+  std::vector<Metric> metrics_;
+};
 
 // True when the bench was invoked with --trace: the bench then re-runs one
 // bounded configuration with span tracing enabled and prints/writes the

@@ -144,9 +144,9 @@ inline void print_cpu_panels(const std::string& what, const CpuFigureResult& vr,
       double av = a.pct.count(label) ? a.pct.at(label) : 0.0;
       double bv = b.pct.count(label) ? b.pct.at(label) : 0.0;
       if (av < 0.05 && bv < 0.05) continue;
-      t.add_row({label, metrics::fmt(av), metrics::fmt(bv)});
+      t.add_row({label, av, bv});
     }
-    t.add_row({"TOTAL", metrics::fmt(a.total), metrics::fmt(b.total)});
+    t.add_row({"TOTAL", a.total, b.total});
     t.print();
   };
   std::cout << "\n-- " << what << ": client-side CPU utilization (% of one core) --\n";
@@ -160,6 +160,25 @@ inline void print_cpu_panels(const std::string& what, const CpuFigureResult& vr,
             << metrics::fmt_pct(metrics::percent_reduction(vanilla.datanode_side.cpu_ms,
                                                            vr.datanode_side.cpu_ms))
             << "\n";
+}
+
+// Headline telemetry for the Fig. 6/7/8 reports: total CPU time per side
+// plus the paper's savings percentages as the gated metrics.
+inline void report_cpu_metrics(BenchReport& report, const CpuFigureResult& vr,
+                               const CpuFigureResult& vanilla,
+                               double client_saving_expected,
+                               double datanode_saving_expected) {
+  report.metric("client_cpu_ms_vread", vr.client.cpu_ms, "ms", "lower")
+      .metric("client_cpu_ms_vanilla", vanilla.client.cpu_ms, "ms", "lower")
+      .metric("datanode_cpu_ms_vread", vr.datanode_side.cpu_ms, "ms", "lower")
+      .metric("datanode_cpu_ms_vanilla", vanilla.datanode_side.cpu_ms, "ms", "lower")
+      .metric("client_cpu_saving_pct",
+              metrics::percent_reduction(vanilla.client.cpu_ms, vr.client.cpu_ms), "%",
+              "higher", client_saving_expected)
+      .metric("datanode_cpu_saving_pct",
+              metrics::percent_reduction(vanilla.datanode_side.cpu_ms,
+                                         vr.datanode_side.cpu_ms),
+              "%", "higher", datanode_saving_expected);
 }
 
 }  // namespace vread::bench

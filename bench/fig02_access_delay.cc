@@ -70,7 +70,7 @@ double hdfs_read_delay_ms(Cluster& c, std::uint64_t req, bool cold) {
 }  // namespace
 }  // namespace vread::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vread::bench;
   vread::metrics::print_banner(
       "Figure 2", "virtual HDFS data-access delay vs. VM-local reads (vanilla, "
@@ -82,6 +82,11 @@ int main() {
   s.cluster->vm("client")->fs().write_file(
       "/localfile", vread::mem::Buffer::deterministic(77, 0, kFileBytes));
 
+  BenchReport report("fig02_access_delay");
+  report.param("freq_ghz", 2.0)
+      .param("file_bytes", kFileBytes)
+      .param("scenario", std::string("colocated"));
+
   for (bool cold : {true, false}) {
     vread::metrics::TablePrinter t(
         {"request", "local (ms)", "inter-VM HDFS (ms)", "slowdown"});
@@ -91,8 +96,12 @@ int main() {
       std::string label = req >= (1 << 20)
                               ? std::to_string(req >> 20) + "MB"
                               : std::to_string(req >> 10) + "KB";
-      t.add_row({label, vread::metrics::fmt(local, 3), vread::metrics::fmt(hdfs, 3),
-                 vread::metrics::fmt(hdfs / local, 1) + "x"});
+      t.add_row({label, vread::metrics::Cell(local, 3), vread::metrics::Cell(hdfs, 3),
+                 vread::metrics::num(vread::metrics::fmt(hdfs / local, 1) + "x")});
+      const std::string cache = cold ? "cold" : "cached";
+      report.metric("local_ms_" + label + "_" + cache, local, "ms", "lower")
+          .metric("hdfs_ms_" + label + "_" + cache, hdfs, "ms", "lower")
+          .metric("slowdown_" + label + "_" + cache, hdfs / local, "x", "lower");
     }
     std::cout << "\n-- Access delay " << (cold ? "WITHOUT cache" : "WITH cache (re-read)")
               << " --\n";
@@ -100,5 +109,6 @@ int main() {
   }
   std::cout << "\nPaper reference shape: inter-VM HDFS delay is several times the local\n"
                "read delay at every request size, cold and cached alike (Fig. 2a/2b).\n";
+  report.maybe_write(argc, argv);
   return 0;
 }

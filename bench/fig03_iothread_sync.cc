@@ -44,18 +44,24 @@ double run_rr(bool four_vms, std::uint64_t req_size, int transactions = 2000,
 }  // namespace
 }  // namespace vread::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vread::bench;
   vread::metrics::print_banner(
       "Figure 3", "netperf TCP_RR rate, 2 VMs vs. 2 VMs + 2 lookbusy VMs on one "
                   "quad-core host");
+  BenchReport report("fig03_iothread_sync");
+  report.param("freq_ghz", 3.2).param("transactions", std::uint64_t{2000});
   vread::metrics::TablePrinter t({"request size", "2vms (txn/s)", "4vms (txn/s)", "drop"});
   for (std::uint64_t req : {32ULL << 10, 64ULL << 10, 128ULL << 10}) {
     double r2 = run_rr(false, req);
     double r4 = run_rr(true, req);
-    t.add_row({std::to_string(req >> 10) + "KB", vread::metrics::fmt(r2, 0),
-               vread::metrics::fmt(r4, 0),
-               vread::metrics::fmt_pct(vread::metrics::percent_reduction(r2, r4))});
+    const std::string label = std::to_string(req >> 10) + "KB";
+    t.add_row({label, vread::metrics::Cell(r2, 0), vread::metrics::Cell(r4, 0),
+               vread::metrics::pct_cell(vread::metrics::percent_reduction(r2, r4))});
+    report.metric("rate_2vms_" + label, r2, "txn/s", "higher")
+        .metric("rate_4vms_" + label, r4, "txn/s", "higher")
+        .metric("drop_" + label, vread::metrics::percent_reduction(r2, r4), "%",
+                "lower", 20.0);
   }
   t.print();
   std::cout << "\nMeasured scheduling-delay decomposition of the 4-VM case (64KB,\n"
@@ -64,5 +70,6 @@ int main() {
   std::cout << "\nPaper reference shape: the background VMs cut the transaction rate by\n"
                "roughly 20% at every request size, caused purely by vCPU/I/O-thread\n"
                "scheduling delay (the host is not CPU-saturated).\n";
+  report.maybe_write(argc, argv);
   return 0;
 }

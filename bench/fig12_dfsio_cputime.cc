@@ -28,7 +28,7 @@ Cell run_cell(double freq, bool four_vms, bool vread, Scenario scenario) {
   return cell;
 }
 
-void run_panel(Scenario scenario) {
+void run_panel(Scenario scenario, BenchReport& report) {
   metrics::TablePrinter read_tbl({"CPU freq", "vanilla-2vms", "vRead-2vms", "saving",
                                   "vanilla-4vms", "vRead-4vms", "saving"});
   metrics::TablePrinter reread_tbl({"CPU freq", "vanilla-2vms", "vRead-2vms", "saving",
@@ -40,15 +40,22 @@ void run_panel(Scenario scenario) {
     Cell r4 = run_cell(freq, true, true, scenario);
     const std::string f = metrics::fmt(freq, 1) + "GHz";
     read_tbl.add_row(
-        {f, metrics::fmt(v2.read_ms, 0), metrics::fmt(r2.read_ms, 0),
-         metrics::fmt_pct(metrics::percent_reduction(v2.read_ms, r2.read_ms)),
-         metrics::fmt(v4.read_ms, 0), metrics::fmt(r4.read_ms, 0),
-         metrics::fmt_pct(metrics::percent_reduction(v4.read_ms, r4.read_ms))});
+        {f, metrics::Cell(v2.read_ms, 0), metrics::Cell(r2.read_ms, 0),
+         metrics::pct_cell(metrics::percent_reduction(v2.read_ms, r2.read_ms)),
+         metrics::Cell(v4.read_ms, 0), metrics::Cell(r4.read_ms, 0),
+         metrics::pct_cell(metrics::percent_reduction(v4.read_ms, r4.read_ms))});
     reread_tbl.add_row(
-        {f, metrics::fmt(v2.reread_ms, 0), metrics::fmt(r2.reread_ms, 0),
-         metrics::fmt_pct(metrics::percent_reduction(v2.reread_ms, r2.reread_ms)),
-         metrics::fmt(v4.reread_ms, 0), metrics::fmt(r4.reread_ms, 0),
-         metrics::fmt_pct(metrics::percent_reduction(v4.reread_ms, r4.reread_ms))});
+        {f, metrics::Cell(v2.reread_ms, 0), metrics::Cell(r2.reread_ms, 0),
+         metrics::pct_cell(metrics::percent_reduction(v2.reread_ms, r2.reread_ms)),
+         metrics::Cell(v4.reread_ms, 0), metrics::Cell(r4.reread_ms, 0),
+         metrics::pct_cell(metrics::percent_reduction(v4.reread_ms, r4.reread_ms))});
+    const std::string key = std::string(to_string(scenario)) + "_" + f;
+    report.metric("vread_cpu_ms_read_2vms_" + key, r2.read_ms, "ms", "lower")
+        .metric("vread_cpu_ms_read_4vms_" + key, r4.read_ms, "ms", "lower")
+        .metric("saving_read_2vms_" + key,
+                metrics::percent_reduction(v2.read_ms, r2.read_ms), "%", "higher")
+        .metric("saving_read_4vms_" + key,
+                metrics::percent_reduction(v4.read_ms, r4.read_ms), "%", "higher");
   }
   std::cout << "\n-- DFSIO client CPU time (ms), " << to_string(scenario) << " READ --\n";
   read_tbl.print();
@@ -60,15 +67,18 @@ void run_panel(Scenario scenario) {
 }  // namespace
 }  // namespace vread::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vread::bench;
   vread::metrics::print_banner("Figure 12",
                                "TestDFSIO client-VM CPU running time, 128 MB scaled "
                                "from the paper's 5 GB");
-  run_panel(Scenario::kColocated);
-  run_panel(Scenario::kRemote);
-  run_panel(Scenario::kHybrid);
+  BenchReport report("fig12_dfsio_cputime");
+  report.param("file_bytes", kBytes);
+  run_panel(Scenario::kColocated, report);
+  run_panel(Scenario::kRemote, report);
+  run_panel(Scenario::kHybrid, report);
   std::cout << "\nPaper reference shape: vRead spends fewer CPU ms in every cell while\n"
                "also achieving the higher throughput of Fig. 11.\n";
+  report.maybe_write(argc, argv);
   return 0;
 }

@@ -40,22 +40,27 @@ double run_write(bool vread, Scenario scenario) {
 }  // namespace
 }  // namespace vread::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vread::bench;
   vread::metrics::print_banner("Figure 13",
                                "HDFS write throughput (TestDFSIO-write, 2.0 GHz, 96 MB "
                                "scaled from 5 GB)");
+  BenchReport report("fig13_write_throughput");
+  report.param("freq_ghz", 2.0).param("file_bytes", kBytes);
   vread::metrics::TablePrinter t({"scenario", "vanilla (MBps)", "vRead (MBps)", "delta"});
   for (Scenario sc : {Scenario::kColocated, Scenario::kRemote, Scenario::kHybrid}) {
     double v = run_write(false, sc);
     double r = run_write(true, sc);
-    t.add_row({to_string(sc), vread::metrics::fmt(v), vread::metrics::fmt(r),
-               vread::metrics::fmt_pct(vread::metrics::percent_gain(v, r))});
+    t.add_row({to_string(sc), vread::metrics::Cell(v), vread::metrics::Cell(r),
+               vread::metrics::pct_cell(vread::metrics::percent_gain(v, r))});
+    report.metric(std::string("vanilla_mbps_") + to_string(sc), v, "MBps", "higher")
+        .metric(std::string("vread_mbps_") + to_string(sc), r, "MBps", "higher");
   }
   t.print();
   std::cout << "\nPaper reference shape: vRead's mount-refresh on block completion is\n"
                "negligible — write throughput matches vanilla in all three scenarios\n"
                "(and writes to a remote/replicated pipeline are slower than co-located\n"
                "for both systems).\n";
+  report.maybe_write(argc, argv);
   return 0;
 }

@@ -4,6 +4,10 @@
 // executes millions of events per simulated second of a busy host).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "common.h"
 #include "fs/disk_image.h"
 #include "fs/simfs.h"
 #include "hw/cpu.h"
@@ -125,4 +129,46 @@ BENCHMARK(BM_DeterministicPayload);
 }  // namespace
 }  // namespace vread
 
-BENCHMARK_MAIN();
+namespace {
+
+// Console output as usual, plus every run's adjusted real time captured
+// into the shared bench-telemetry report.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(vread::bench::BenchReport& report) : report_(report) {}
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      report_.metric(run.benchmark_name() + "_ns", run.GetAdjustedRealTime(), "ns",
+                     "lower");
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  vread::bench::BenchReport& report_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vread::bench::BenchReport report("micro_primitives");
+  // Strip --json [FILE] before google-benchmark sees the flags (it rejects
+  // unknown arguments); maybe_write() re-reads the original argv.
+  std::vector<char*> filtered;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 < argc && argv[i + 1][0] != '-') ++i;
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(filtered.size());
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, filtered.data())) return 1;
+  CapturingReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.maybe_write(argc, argv);
+  return 0;
+}

@@ -52,13 +52,23 @@ Times run(bool vread) {
 }  // namespace
 }  // namespace vread::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vread::bench;
   vread::metrics::print_banner("Table 3",
                                "Hive select + Sqoop export (hybrid 4-VM setup, 2.0 GHz, "
                                "600k rows scaled from 30M)");
+  BenchReport report("table3_hive_sqoop");
+  report.param("freq_ghz", 2.0).param("rows", kRows);
   Times vanilla = run(false);
   Times vr = run(true);
+  report.metric("vread_hive_s", vr.hive_s, "s", "lower")
+      .metric("vread_sqoop_s", vr.sqoop_s, "s", "lower")
+      .metric("hive_reduction_pct",
+              vread::metrics::percent_reduction(vanilla.hive_s, vr.hive_s), "%",
+              "higher", 21.3)
+      .metric("sqoop_reduction_pct",
+              vread::metrics::percent_reduction(vanilla.sqoop_s, vr.sqoop_s), "%",
+              "higher", 11.3);
   vread::metrics::TablePrinter t({"", "Select Sql for Hive", "Sqoop Export"});
   t.add_row({"Vanilla", vread::metrics::fmt(vanilla.hive_s, 3) + "s",
              vread::metrics::fmt(vanilla.sqoop_s, 3) + "s"});
@@ -72,5 +82,6 @@ int main() {
   t.print();
   std::cout << "\nPaper reference: -21.3% Hive select time, -11.3% Sqoop export time\n"
                "(Sqoop bounded by the MySQL insert side, which vRead cannot speed up).\n";
+  report.maybe_write(argc, argv);
   return 0;
 }

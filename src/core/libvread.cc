@@ -16,15 +16,17 @@ sim::Task LibVread::call(ShmRequest req, ShmResponse& resp, trace::Ctx ctx) {
     if (resp.status >= 0) co_return;
     if (!Status::from_wire(resp.status).is_retryable()) co_return;
     if (attempt >= retry_.max_attempts) {
-      ++retries_exhausted_;
+      retries_exhausted_.inc();
       co_return;
     }
     // Transient failure (timeout / corrupt payload / peer down): back off
     // and re-issue under a fresh id — the original request is written off.
-    ++retries_;
+    retries_.inc();
     tr.instant(ctx, trace::SpanKind::kRetry, "libvread-retry",
                static_cast<int>(vm_.vcpu_tid()));
-    co_await vm_.host().sim().delay(retry_.backoff_before(attempt + 1));
+    const sim::SimTime backoff = retry_.backoff_before(attempt + 1);
+    backoff_ns_.inc(static_cast<std::uint64_t>(backoff));
+    co_await vm_.host().sim().delay(backoff);
   }
 }
 

@@ -32,7 +32,17 @@ class LibVread : public hdfs::BlockReader {
   // channel and the per-VM daemon worker). `retry` bounds how hard the
   // library tries before reporting a retryable failure to its caller.
   LibVread(virt::Vm& client_vm, VReadDaemon& daemon, RetryPolicy retry = {})
-      : vm_(client_vm), channel_(daemon.attach_client(client_vm)), retry_(retry) {}
+      : vm_(client_vm),
+        channel_(daemon.attach_client(client_vm)),
+        retry_(retry),
+        retries_(metrics_.counter("vread_lib_retries_total", {{"vm", client_vm.name()}},
+                                  "Shm calls re-issued after a retryable failure")),
+        retries_exhausted_(metrics_.counter("vread_lib_retries_exhausted_total",
+                                            {{"vm", client_vm.name()}},
+                                            "Calls that spent the whole retry budget")),
+        backoff_ns_(metrics_.counter("vread_lib_backoff_ns_total",
+                                     {{"vm", client_vm.name()}},
+                                     "Simulated time spent backing off between retries")) {}
 
   // ---- hdfs::BlockReader (offset-explicit, used by DFSClient) ----
   sim::Task open(const std::string& block_name, const std::string& datanode_id,
@@ -61,8 +71,10 @@ class LibVread : public hdfs::BlockReader {
 
   // Degradation counters: shm calls re-issued after a retryable failure,
   // and calls that exhausted the retry budget without success.
-  std::uint64_t retries() const { return retries_; }
-  std::uint64_t retries_exhausted() const { return retries_exhausted_; }
+  std::uint64_t retries() const { return retries_.value(); }
+  std::uint64_t retries_exhausted() const { return retries_exhausted_.value(); }
+  // Total simulated time this library spent in retry backoff delays.
+  std::uint64_t backoff_ns() const { return backoff_ns_.value(); }
 
  private:
   // One shm round trip with the bounded-retry/backoff loop. Each retry is
@@ -74,8 +86,10 @@ class LibVread : public hdfs::BlockReader {
   RetryPolicy retry_;
   std::unordered_map<std::uint64_t, std::uint64_t> offsets_;  // vfd -> file offset
   std::uint64_t next_req_ = 1;
-  std::uint64_t retries_ = 0;
-  std::uint64_t retries_exhausted_ = 0;
+  metrics::MetricGroup metrics_;
+  metrics::Counter& retries_;
+  metrics::Counter& retries_exhausted_;
+  metrics::Counter& backoff_ns_;
 };
 
 }  // namespace vread::core

@@ -22,7 +22,89 @@ VReadDaemon::VReadDaemon(virt::Host& host, DaemonConfig config)
     : host_(host),
       config_(config),
       control_(std::make_unique<hw::WorkerThread>(host.sim(), host.cpu(),
-                                                  "vread-ctl", host.name())) {}
+                                                  "vread-ctl", host.name())),
+      opens_(metrics_.counter("vread_daemon_opens_total", {{"host", host.name()}},
+                              "Block descriptors opened")),
+      reads_(metrics_.counter("vread_daemon_reads_total", {{"host", host.name()}},
+                              "Local block reads served")),
+      bytes_read_(metrics_.counter("vread_daemon_bytes_read_total",
+                                   {{"host", host.name()}},
+                                   "Payload bytes read from local images")),
+      refreshes_(metrics_.counter("vread_daemon_mount_refreshes_total",
+                                  {{"host", host.name()}},
+                                  "Loop-mount dentry/inode refreshes")),
+      failed_opens_(metrics_.counter("vread_daemon_failed_opens_total",
+                                     {{"host", host.name()}},
+                                     "Opens answered with an error status")),
+      remote_reads_(metrics_.counter("vread_daemon_remote_reads_total",
+                                     {{"host", host.name()}},
+                                     "Daemon-to-daemon streamed reads completed")),
+      restarts_(metrics_.counter("vread_daemon_restarts_total", {{"host", host.name()}},
+                                 "Crash-recovery restarts (descriptor table lost)")),
+      remote_retries_(metrics_.counter("vread_daemon_remote_retries_total",
+                                       {{"host", host.name()}},
+                                       "Peer-down retries with backoff")),
+      rdma_failovers_(metrics_.counter("vread_daemon_rdma_failovers_total",
+                                       {{"host", host.name()}},
+                                       "RDMA operations failed over to TCP")),
+      refresh_failures_(metrics_.counter("vread_daemon_refresh_failures_total",
+                                         {{"host", host.name()}},
+                                         "Mount refreshes that left the mount stale")),
+      mount_lookup_hits_(metrics_.counter("vread_daemon_mount_lookup_hits_total",
+                                          {{"host", host.name()}},
+                                          "Block lookups served by the mounted dentry cache")),
+      mount_lookup_misses_(metrics_.counter("vread_daemon_mount_lookup_misses_total",
+                                            {{"host", host.name()}},
+                                            "Block lookups missing in the mounted dentry cache")),
+      open_descriptors_g_(metrics_.gauge("vread_daemon_open_descriptors",
+                                         {{"host", host.name()}},
+                                         "Live entries in the descriptor table")),
+      read_latency_(metrics_.histogram("vread_daemon_read_latency_ns",
+                                       {{"host", host.name()}},
+                                       "kRead service time, dequeue to last chunk")) {}
+
+DaemonStats VReadDaemon::stats_snapshot() const {
+  DaemonStats s;
+  s.host = host_.name();
+  s.opens = opens_.value();
+  s.reads = reads_.value();
+  s.bytes_read = bytes_read_.value();
+  s.refreshes = refreshes_.value();
+  s.failed_opens = failed_opens_.value();
+  s.remote_reads = remote_reads_.value();
+  s.restarts = restarts_.value();
+  s.remote_retries = remote_retries_.value();
+  s.rdma_failovers = rdma_failovers_.value();
+  s.refresh_failures = refresh_failures_.value();
+  s.mount_lookup_hits = mount_lookup_hits_.value();
+  s.mount_lookup_misses = mount_lookup_misses_.value();
+  s.open_descriptors = descriptors_.size();
+  s.local_mounts = local_mounts_.size();
+  s.remote_peers = remote_peers_.size();
+  s.clients = clients_.size();
+  s.read_latency = read_latency_;
+  for (const auto& [key, c] : peer_bytes_) {
+    s.peers.push_back(DaemonStats::PeerTraffic{
+        key.first,
+        key.second == static_cast<int>(Transport::kRdma) ? "rdma" : "tcp",
+        c->value()});
+  }
+  return s;
+}
+
+metrics::Counter& VReadDaemon::peer_bytes(const std::string& peer, Transport t) {
+  const auto key = std::make_pair(peer, static_cast<int>(t));
+  auto it = peer_bytes_.find(key);
+  if (it != peer_bytes_.end()) return *it->second;
+  metrics::Counter& c = metrics_.counter(
+      "vread_daemon_peer_bytes_total",
+      {{"host", host_.name()},
+       {"peer", peer},
+       {"transport", t == Transport::kRdma ? "rdma" : "tcp"}},
+      "Payload bytes received daemon-to-daemon, by peer and transport");
+  peer_bytes_[key] = &c;
+  return c;
+}
 
 void VReadDaemon::register_local_datanode(const std::string& dn_id,
                                           fs::DiskImagePtr image, std::string dir) {
@@ -79,7 +161,7 @@ VReadDaemon::Transport VReadDaemon::effective_transport(hw::ThreadId tid, trace:
       fault::registry().should_fire(fault::points::kRdmaDown)) {
     // RDMA link down: fail the operation over to the user-space TCP
     // transport instead of failing the read.
-    ++rdma_failovers_;
+    rdma_failovers_.inc();
     trace::tracer().instant(ctx, trace::SpanKind::kFallback, "rdma->tcp",
                             static_cast<int>(tid));
     return Transport::kTcp;
@@ -127,9 +209,10 @@ sim::Task VReadDaemon::handle(ClientPort& port, ShmRequest req) {
           d->peer = it->second;
           d->peer_vfd = peer_vfd;
           descriptors_[vfd] = std::move(d);
+          open_descriptors_g_.set(static_cast<std::int64_t>(descriptors_.size()));
         }
       } else {
-        ++failed_opens_;
+        failed_opens_.inc();
       }
       resp.status = status.to_wire();
       resp.vfd = vfd;
@@ -145,11 +228,13 @@ sim::Task VReadDaemon::handle(ClientPort& port, ShmRequest req) {
       // restart() clears the table but must not invalidate in-flight
       // reads that already resolved their descriptor.
       DescriptorPtr d = it->second;
+      const sim::SimTime t0 = host_.sim().now();
       if (d->remote) {
         co_await stream_remote_read(port, req, *d);
       } else {
         co_await stream_local_read(port, req, *d);
       }
+      read_latency_.observe(static_cast<std::uint64_t>(host_.sim().now() - t0));
       co_return;  // responses already streamed into the ring
     }
     case VReadOp::kClose: {
@@ -162,10 +247,13 @@ sim::Task VReadDaemon::handle(ClientPort& port, ShmRequest req) {
           co_await host_.lan().transfer(host_.lan_id(), kCtrlBytes);
           peer->control_->submit([peer, peer_vfd]() -> sim::Task {
             peer->descriptors_.erase(peer_vfd);
+            peer->open_descriptors_g_.set(
+                static_cast<std::int64_t>(peer->descriptors_.size()));
             co_return;
           });
         }
         descriptors_.erase(req.vfd);
+        open_descriptors_g_.set(static_cast<std::int64_t>(descriptors_.size()));
       }
       resp.status = 0;
       break;
@@ -203,6 +291,11 @@ sim::Task VReadDaemon::local_open(hw::ThreadId tid, const std::string& dn_id,
   fs::LoopMount& mount = *mount_ptr;
   const std::string path = lm.dir + "/" + block_name;
   std::optional<fs::Inode> ino = mount.lookup(path);
+  if (ino) {
+    mount_lookup_hits_.inc();
+  } else {
+    mount_lookup_misses_.inc();
+  }
   if (!ino && mount.stale()) {
     // The namenode-triggered refresh may still be queued; refreshing here
     // mirrors the prototype re-reading the dentry cache on demand.
@@ -211,7 +304,7 @@ sim::Task VReadDaemon::local_open(hw::ThreadId tid, const std::string& dn_id,
   }
   if (!ino) {
     status = Status(StatusCode::kNoBlock, path);
-    ++failed_opens_;
+    failed_opens_.inc();
     co_return;
   }
   vfd = next_vfd_++;
@@ -221,8 +314,9 @@ sim::Task VReadDaemon::local_open(hw::ThreadId tid, const std::string& dn_id,
   d->inode = *ino;
   d->mount = std::move(mount_ptr);
   descriptors_[vfd] = std::move(d);
+  open_descriptors_g_.set(static_cast<std::int64_t>(descriptors_.size()));
   status = Status::Ok();
-  ++opens_;
+  opens_.inc();
 }
 
 sim::Task VReadDaemon::readahead_task(std::shared_ptr<RaState> ra,
@@ -349,8 +443,8 @@ sim::Task VReadDaemon::local_read(hw::ThreadId tid, Descriptor& d, std::uint64_t
   }
   out = d.mount->read(d.inode, offset, n);
   status = Status::Ok();
-  ++reads_;
-  bytes_read_ += out.size();
+  reads_.inc();
+  bytes_read_.inc(out.size());
 }
 
 sim::Task VReadDaemon::local_refresh(hw::ThreadId tid, const std::string& dn_id) {
@@ -364,9 +458,9 @@ sim::Task VReadDaemon::local_refresh(hw::ThreadId tid, const std::string& dn_id)
     // The remount/rescan itself failed (injected or real): the mount stays
     // on its old snapshot; opens of fresh blocks keep missing and clients
     // keep degrading to the socket path until a later refresh succeeds.
-    ++refresh_failures_;
+    refresh_failures_.inc();
   } else {
-    ++refreshes_;
+    refreshes_.inc();
   }
 }
 
@@ -402,13 +496,13 @@ sim::Task VReadDaemon::remote_open(hw::ThreadId tid, VReadDaemon* peer,
       // The peer never answers. Back off and retry (bounded), then report
       // PEER_DOWN so the client can degrade to the vanilla socket path.
       if (attempt < policy.max_attempts) {
-        ++remote_retries_;
+        remote_retries_.inc();
         tr.instant(ctx, trace::SpanKind::kRetry, "peer-retry", static_cast<int>(tid));
         co_await host_.sim().delay(policy.backoff_before(attempt + 1));
         continue;
       }
       status = Status(StatusCode::kPeerDown, dn_id);
-      ++failed_opens_;
+      failed_opens_.inc();
       co_return;
     }
 
@@ -584,6 +678,7 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, const virt::ShmReque
   });
 
   auto& tr = trace::tracer();
+  metrics::Counter& from_peer = peer_bytes(peer->host_.name(), transport);
   for (;;) {
     RemoteChunk chunk = co_await arrivals.recv();
     if (chunk.status < 0) {
@@ -593,6 +688,7 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, const virt::ShmReque
       co_return;
     }
     const std::uint64_t n = chunk.data.size();
+    from_peer.inc(n);
     bool zero_copy = false;
     if (transport == Transport::kRdma) {
       // One CQE; the payload already sits in the registered ring memory.
@@ -613,7 +709,7 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, const virt::ShmReque
                                         std::move(chunk.data), last, !zero_copy, ctx);
     if (last) break;
   }
-  ++remote_reads_;
+  remote_reads_.inc();
 }
 
 }  // namespace vread::core

@@ -38,6 +38,7 @@
 #include "fs/loop_mount.h"
 #include "hdfs/namenode.h"
 #include "hw/worker.h"
+#include "metrics/registry.h"
 #include "virt/host.h"
 #include "virt/shm_channel.h"
 
@@ -53,6 +54,40 @@ enum class VReadOp : int {
 
 // Remote (daemon-to-daemon) transport.
 enum class Transport { kRdma, kTcp };
+
+// Point-in-time introspection snapshot of one daemon (DESIGN.md §9).
+// Returned by VReadDaemon::stats_snapshot(); rendered by tools/vreadstat.
+struct DaemonStats {
+  std::string host;
+  // Counters (monotonic since daemon construction).
+  std::uint64_t opens = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t failed_opens = 0;
+  std::uint64_t remote_reads = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t remote_retries = 0;
+  std::uint64_t rdma_failovers = 0;
+  std::uint64_t refresh_failures = 0;
+  std::uint64_t mount_lookup_hits = 0;
+  std::uint64_t mount_lookup_misses = 0;
+  // Levels (instantaneous).
+  std::size_t open_descriptors = 0;
+  std::size_t local_mounts = 0;
+  std::size_t remote_peers = 0;
+  std::size_t clients = 0;
+  // Distribution of kRead service time (request dequeue -> response
+  // streamed), as a copy safe to hold after the daemon dies.
+  metrics::Histogram read_latency;
+  // Per-peer daemon-to-daemon traffic, by transport actually used.
+  struct PeerTraffic {
+    std::string peer;
+    std::string transport;  // "rdma" | "tcp"
+    std::uint64_t bytes = 0;
+  };
+  std::vector<PeerTraffic> peers;
+};
 
 // All daemon tuning in one aggregate, accepted at construction. Defaults
 // match the paper's chosen design: RDMA remote transport, reads through
@@ -120,7 +155,8 @@ class VReadDaemon {
   // restart fires spontaneously under the core.daemon.crash fault point.
   void restart() {
     descriptors_.clear();
-    ++restarts_;
+    restarts_.inc();
+    open_descriptors_g_.set(0);
   }
   void drop_all_descriptors() { restart(); }
   std::size_t open_descriptors() const { return descriptors_.size(); }
@@ -135,17 +171,22 @@ class VReadDaemon {
                                VReadDaemon& to, fs::DiskImagePtr image);
 
   // --- stats ---
-  std::uint64_t opens() const { return opens_; }
-  std::uint64_t reads() const { return reads_; }
-  std::uint64_t bytes_read() const { return bytes_read_; }
-  std::uint64_t refreshes() const { return refreshes_; }
-  std::uint64_t failed_opens() const { return failed_opens_; }
-  std::uint64_t remote_reads() const { return remote_reads_; }
+  // Scalar accessors read the live registry-backed instruments; the full
+  // introspection view (levels, latency distribution, per-peer traffic)
+  // comes from stats_snapshot().
+  std::uint64_t opens() const { return opens_.value(); }
+  std::uint64_t reads() const { return reads_.value(); }
+  std::uint64_t bytes_read() const { return bytes_read_.value(); }
+  std::uint64_t refreshes() const { return refreshes_.value(); }
+  std::uint64_t failed_opens() const { return failed_opens_.value(); }
+  std::uint64_t remote_reads() const { return remote_reads_.value(); }
   // Degradation counters (see metrics/fault_stats.h).
-  std::uint64_t restarts() const { return restarts_; }
-  std::uint64_t remote_retries() const { return remote_retries_; }
-  std::uint64_t rdma_failovers() const { return rdma_failovers_; }
-  std::uint64_t refresh_failures() const { return refresh_failures_; }
+  std::uint64_t restarts() const { return restarts_.value(); }
+  std::uint64_t remote_retries() const { return remote_retries_.value(); }
+  std::uint64_t rdma_failovers() const { return rdma_failovers_.value(); }
+  std::uint64_t refresh_failures() const { return refresh_failures_.value(); }
+
+  DaemonStats stats_snapshot() const;
 
  private:
   // Host-kernel readahead state for one open file (shared with in-flight
@@ -244,16 +285,28 @@ class VReadDaemon {
   std::map<std::uint64_t, DescriptorPtr> descriptors_;
   std::uint64_t next_vfd_ = 1;
 
-  std::uint64_t opens_ = 0;
-  std::uint64_t reads_ = 0;
-  std::uint64_t bytes_read_ = 0;
-  std::uint64_t refreshes_ = 0;
-  std::uint64_t failed_opens_ = 0;
-  std::uint64_t remote_reads_ = 0;
-  std::uint64_t restarts_ = 0;
-  std::uint64_t remote_retries_ = 0;
-  std::uint64_t rdma_failovers_ = 0;
-  std::uint64_t refresh_failures_ = 0;
+  // Per-peer transfer counter, created lazily on the first byte streamed
+  // from that peer (labels: host, peer, transport).
+  metrics::Counter& peer_bytes(const std::string& peer, Transport t);
+
+  // Instruments live on the process-wide registry for the daemon's
+  // lifetime (declared after host_ so labels can use host_.name()).
+  metrics::MetricGroup metrics_;
+  metrics::Counter& opens_;
+  metrics::Counter& reads_;
+  metrics::Counter& bytes_read_;
+  metrics::Counter& refreshes_;
+  metrics::Counter& failed_opens_;
+  metrics::Counter& remote_reads_;
+  metrics::Counter& restarts_;
+  metrics::Counter& remote_retries_;
+  metrics::Counter& rdma_failovers_;
+  metrics::Counter& refresh_failures_;
+  metrics::Counter& mount_lookup_hits_;
+  metrics::Counter& mount_lookup_misses_;
+  metrics::Gauge& open_descriptors_g_;
+  metrics::Histogram& read_latency_;
+  std::map<std::pair<std::string, int>, metrics::Counter*> peer_bytes_;
 };
 
 }  // namespace vread::core

@@ -272,6 +272,7 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
               c.vm().host().costs().per_byte(
                   out.size(), c.vm().host().costs().client_hdfs_vread_cycles_per_byte),
               CycleCategory::kClientApp, ctx);
+          c.reads_short_circuit_.inc();
           tr.end_read(ctx, out.size());
           co_return;
         }
@@ -290,23 +291,28 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
     if (it != c.vfd_hash_.end()) {
       // Cached descriptors stay in use even during a cooldown — only new
       // probes are suppressed.
+      c.vfd_hits_.inc();
       vfd = it->second;
       have_vfd = true;
-    } else if (c.vread_probe_allowed()) {
-      Status st;
-      co_await reader->open(blk.name, dn, vfd, st, ctx);
-      if (st.ok()) {
-        c.vfd_hash_.emplace(blk.name, vfd);
-        have_vfd = true;
-      } else {
-        // No descriptor obtained (registry miss, stale mount, transport
-        // trouble after the library's retries): degrade, and stop probing
-        // until the cooldown expires.
-        vread_failed = true;
-        c.enter_vread_cooldown();
-      }
     } else {
-      ++c.vread_suppressed_;
+      c.vfd_misses_.inc();
+      if (c.vread_probe_allowed()) {
+        Status st;
+        co_await reader->open(blk.name, dn, vfd, st, ctx);
+        if (st.ok()) {
+          c.vfd_hash_.emplace(blk.name, vfd);
+          c.vfd_cache_g_.set(static_cast<std::int64_t>(c.vfd_hash_.size()));
+          have_vfd = true;
+        } else {
+          // No descriptor obtained (registry miss, stale mount, transport
+          // trouble after the library's retries): degrade, and stop probing
+          // until the cooldown expires.
+          vread_failed = true;
+          c.enter_vread_cooldown();
+        }
+      } else {
+        c.vread_suppressed_.inc();
+      }
     }
   }
 
@@ -323,7 +329,9 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
         // Block fully consumed: vRead_close + hash removal (Algorithm 1).
         co_await reader->close(vfd);
         c.vfd_hash_.erase(blk.name);
+        c.vfd_cache_g_.set(static_cast<std::int64_t>(c.vfd_hash_.size()));
       }
+      c.reads_vread_.inc();
       tr.end_read(ctx, out.size());
       co_return;
     }
@@ -332,11 +340,12 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
     // next read with no cooldown; anything else starts one.
     co_await reader->close(vfd);
     c.vfd_hash_.erase(blk.name);
+    c.vfd_cache_g_.set(static_cast<std::int64_t>(c.vfd_hash_.size()));
     vread_failed = true;
     if (!st.is_stale()) c.enter_vread_cooldown();
   }
   if (vread_failed) {
-    ++c.vread_fallback_reads_;
+    c.vread_fallback_reads_.inc();
     tr.instant(ctx, trace::SpanKind::kFallback, "vread->socket", app_tid);
   }
 
@@ -356,6 +365,7 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
       } else {
         co_await c.fetch_block_range(blk, candidates[i], off, len, out, sctx);
       }
+      c.reads_socket_.inc();
       tr.end(sock_sp, out.size());
       tr.end_read(ctx, out.size());
       co_return;
@@ -415,6 +425,7 @@ sim::Task DfsInputStream::close() {
       if (it != c.vfd_hash_.end()) {
         co_await c.reader_->close(it->second);
         c.vfd_hash_.erase(it);
+        c.vfd_cache_g_.set(static_cast<std::int64_t>(c.vfd_hash_.size()));
       }
     }
   }

@@ -22,6 +22,7 @@
 #include "hdfs/datanode.h"
 #include "hdfs/namenode.h"
 #include "mem/buffer.h"
+#include "metrics/registry.h"
 #include "virt/vm.h"
 #include "virt/vnet.h"
 
@@ -36,7 +37,38 @@ class DfsClient {
   using Placement = std::function<std::vector<std::string>(std::uint64_t index)>;
 
   DfsClient(virt::Vm& vm, NameNode& nn, virt::VirtualNetwork& net)
-      : vm_(vm), nn_(nn), net_(net) {}
+      : vm_(vm),
+        nn_(nn),
+        net_(net),
+        vread_fallback_reads_(metrics_.counter(
+            "vread_client_fallback_reads_total", {{"vm", vm.name()}},
+            "Reads served by sockets after a vRead failure")),
+        vread_cooldowns_(metrics_.counter("vread_client_cooldowns_total",
+                                          {{"vm", vm.name()}},
+                                          "Times the client entered a probe cooldown")),
+        vread_reprobes_(metrics_.counter("vread_client_reprobes_total",
+                                         {{"vm", vm.name()}},
+                                         "Cooldown expiries that re-probed vRead")),
+        vread_suppressed_(metrics_.counter("vread_client_suppressed_total",
+                                           {{"vm", vm.name()}},
+                                           "Opens skipped during a cooldown")),
+        reads_vread_(metrics_.counter("vread_client_reads_total",
+                                      {{"path", "vread"}, {"vm", vm.name()}},
+                                      "Block-range reads by the path that served them")),
+        reads_socket_(metrics_.counter("vread_client_reads_total",
+                                       {{"path", "socket"}, {"vm", vm.name()}},
+                                       "Block-range reads by the path that served them")),
+        reads_short_circuit_(metrics_.counter(
+            "vread_client_reads_total", {{"path", "short-circuit"}, {"vm", vm.name()}},
+            "Block-range reads by the path that served them")),
+        vfd_hits_(metrics_.counter("vread_client_vfd_cache_hits_total",
+                                   {{"vm", vm.name()}},
+                                   "Reads finding a cached vRead descriptor")),
+        vfd_misses_(metrics_.counter("vread_client_vfd_cache_misses_total",
+                                     {{"vm", vm.name()}},
+                                     "Reads needing a fresh vRead_open")),
+        vfd_cache_g_(metrics_.gauge("vread_client_vfd_cache_size", {{"vm", vm.name()}},
+                                    "Descriptors currently cached")) {}
   DfsClient(const DfsClient&) = delete;
   DfsClient& operator=(const DfsClient&) = delete;
 
@@ -55,10 +87,19 @@ class DfsClient {
   sim::SimTime vread_fallback_cooldown() const { return vread_fallback_cooldown_; }
 
   // Degradation counters (see metrics/fault_stats.h).
-  std::uint64_t vread_fallback_reads() const { return vread_fallback_reads_; }
-  std::uint64_t vread_cooldowns() const { return vread_cooldowns_; }
-  std::uint64_t vread_reprobes() const { return vread_reprobes_; }
-  std::uint64_t vread_suppressed() const { return vread_suppressed_; }
+  std::uint64_t vread_fallback_reads() const { return vread_fallback_reads_.value(); }
+  std::uint64_t vread_cooldowns() const { return vread_cooldowns_.value(); }
+  std::uint64_t vread_reprobes() const { return vread_reprobes_.value(); }
+  std::uint64_t vread_suppressed() const { return vread_suppressed_.value(); }
+
+  // Path-taken counters: which mechanism ultimately served each
+  // block-range read (Algorithms 1-2 decide per read).
+  std::uint64_t vread_path_reads() const { return reads_vread_.value(); }
+  std::uint64_t socket_path_reads() const { return reads_socket_.value(); }
+  std::uint64_t short_circuit_reads() const { return reads_short_circuit_.value(); }
+  // Descriptor-hash effectiveness.
+  std::uint64_t vfd_cache_hits() const { return vfd_hits_.value(); }
+  std::uint64_t vfd_cache_misses() const { return vfd_misses_.value(); }
 
   // HDFS Short-Circuit Local Reads (HDFS-2246/HDFS-347, the paper's §2.2
   // first alternative): when the client process runs in the SAME OS as the
@@ -124,13 +165,13 @@ class DfsClient {
     if (fallback_until_ == 0) return true;
     if (vm_.host().sim().now() < fallback_until_) return false;
     fallback_until_ = 0;
-    ++vread_reprobes_;
+    vread_reprobes_.inc();
     return true;
   }
   void enter_vread_cooldown() {
     if (vread_fallback_cooldown_ == 0) return;
     fallback_until_ = vm_.host().sim().now() + vread_fallback_cooldown_;
-    ++vread_cooldowns_;
+    vread_cooldowns_.inc();
   }
 
   // The libvread descriptor hash (block name -> vfd), shared by all
@@ -151,13 +192,22 @@ class DfsClient {
   BlockReader* reader_ = nullptr;
   bool short_circuit_ = false;
 
-  // Degradation state + counters.
+  // Degradation state.
   sim::SimTime fallback_until_ = 0;                     // 0 = shortcut healthy
   sim::SimTime vread_fallback_cooldown_ = sim::ms(50);  // 0 disables cooldowns
-  std::uint64_t vread_fallback_reads_ = 0;  // reads served by sockets after a vRead failure
-  std::uint64_t vread_cooldowns_ = 0;       // times the client entered a cooldown
-  std::uint64_t vread_reprobes_ = 0;        // cooldown expiries that re-probed vRead
-  std::uint64_t vread_suppressed_ = 0;      // opens skipped during a cooldown
+
+  // Registry-backed instruments (labels carry the client VM's name).
+  metrics::MetricGroup metrics_;
+  metrics::Counter& vread_fallback_reads_;
+  metrics::Counter& vread_cooldowns_;
+  metrics::Counter& vread_reprobes_;
+  metrics::Counter& vread_suppressed_;
+  metrics::Counter& reads_vread_;
+  metrics::Counter& reads_socket_;
+  metrics::Counter& reads_short_circuit_;
+  metrics::Counter& vfd_hits_;
+  metrics::Counter& vfd_misses_;
+  metrics::Gauge& vfd_cache_g_;
 };
 
 // Streaming writer for one HDFS file (the paper's DFSOutputStream, whose

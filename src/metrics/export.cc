@@ -1,0 +1,198 @@
+#include "metrics/export.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "fault/fault.h"
+
+namespace vread::metrics {
+
+namespace {
+
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string prom_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ',';
+    out += labels[i].first + "=\"" + prom_escape(labels[i].second) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+// `le` label appended to existing labels for histogram bucket samples.
+std::string prom_bucket_labels(const Labels& labels, const std::string& le) {
+  std::string out = "{";
+  for (const auto& [k, v] : labels) out += k + "=\"" + prom_escape(v) + "\",";
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+// Synthetic series for the fault registry, so one exposition covers both
+// the degradation counters and the injected faults that caused them.
+struct FaultSeries {
+  std::string point;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+std::vector<FaultSeries> fault_series() {
+  std::vector<FaultSeries> out;
+  for (const fault::Registry::Row& row : fault::registry().rows()) {
+    out.push_back(FaultSeries{row.name, row.hits, row.fires});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& os, const Registry& r) {
+  const Registry::Snapshot snap = r.snapshot();
+  std::string last_family;
+  for (const auto& row : snap.rows) {
+    if (row.name != last_family) {
+      last_family = row.name;
+      if (!row.help.empty()) os << "# HELP " << row.name << ' ' << row.help << '\n';
+      os << "# TYPE " << row.name << ' ' << to_string(row.kind) << '\n';
+    }
+    switch (row.kind) {
+      case MetricKind::kCounter:
+        os << row.name << prom_labels(row.labels) << ' ' << row.counter << '\n';
+        break;
+      case MetricKind::kGauge:
+        os << row.name << prom_labels(row.labels) << ' ' << row.gauge << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = row.histogram;
+        // Cumulative buckets up to the highest non-empty one, then +Inf.
+        std::uint64_t cum = 0;
+        std::size_t highest = 0;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          if (h.bucket_count(i) > 0) highest = i;
+        }
+        for (std::size_t i = 0; i <= highest; ++i) {
+          cum += h.bucket_count(i);
+          os << row.name << "_bucket"
+             << prom_bucket_labels(row.labels, std::to_string(Histogram::bucket_upper(i)))
+             << ' ' << cum << '\n';
+        }
+        os << row.name << "_bucket" << prom_bucket_labels(row.labels, "+Inf") << ' '
+           << h.count() << '\n';
+        os << row.name << "_sum" << prom_labels(row.labels) << ' ' << h.sum() << '\n';
+        os << row.name << "_count" << prom_labels(row.labels) << ' ' << h.count() << '\n';
+        break;
+      }
+    }
+  }
+  for (const FaultSeries& f : fault_series()) {
+    os << "vread_fault_hits_total{point=\"" << prom_escape(f.point) << "\"} " << f.hits
+       << '\n';
+    os << "vread_fault_fires_total{point=\"" << prom_escape(f.point) << "\"} " << f.fires
+       << '\n';
+  }
+}
+
+void write_json(std::ostream& os, const Registry& r) {
+  const Registry::Snapshot snap = r.snapshot();
+  os << "{\n  \"schema\": \"" << kMetricsJsonSchema << "\",\n  \"metrics\": [";
+  bool first = true;
+  for (const auto& row : snap.rows) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << json_escape(row.name)
+       << "\", \"kind\": \"" << to_string(row.kind) << "\"";
+    first = false;
+    if (!row.labels.empty()) {
+      os << ", \"labels\": {";
+      for (std::size_t i = 0; i < row.labels.size(); ++i) {
+        if (i) os << ", ";
+        os << '"' << json_escape(row.labels[i].first) << "\": \""
+           << json_escape(row.labels[i].second) << '"';
+      }
+      os << '}';
+    }
+    switch (row.kind) {
+      case MetricKind::kCounter:
+        os << ", \"value\": " << row.counter;
+        break;
+      case MetricKind::kGauge:
+        os << ", \"value\": " << row.gauge << ", \"high\": " << row.gauge_high;
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = row.histogram;
+        os << ", \"count\": " << h.count() << ", \"sum\": " << h.sum()
+           << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+           << ", \"p50\": " << h.percentile(50) << ", \"p95\": " << h.percentile(95)
+           << ", \"p99\": " << h.percentile(99) << ", \"buckets\": [";
+        bool bfirst = true;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          if (h.bucket_count(i) == 0) continue;
+          os << (bfirst ? "" : ", ") << "{\"le\": " << Histogram::bucket_upper(i)
+             << ", \"count\": " << h.bucket_count(i) << '}';
+          bfirst = false;
+        }
+        os << ']';
+        break;
+      }
+    }
+    os << '}';
+  }
+  os << "\n  ],\n  \"faults\": [";
+  bool ffirst = true;
+  for (const FaultSeries& f : fault_series()) {
+    os << (ffirst ? "\n" : ",\n") << "    {\"point\": \"" << json_escape(f.point)
+       << "\", \"hits\": " << f.hits << ", \"fires\": " << f.fires << '}';
+    ffirst = false;
+  }
+  os << "\n  ]\n}\n";
+}
+
+bool write_file(const std::string& path, const Registry& r) {
+  std::ofstream f(path);
+  if (!f) return false;
+  const bool json = path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (json) {
+    write_json(f, r);
+  } else {
+    write_prometheus(f, r);
+  }
+  return true;
+}
+
+}  // namespace vread::metrics

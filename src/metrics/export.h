@@ -1,0 +1,38 @@
+// Machine-readable exposition of the metrics registry (DESIGN.md §9).
+//
+// Two formats, both deterministic (series sorted by name, then labels):
+//   * Prometheus text exposition — `# HELP` / `# TYPE` headers, one
+//     `name{labels} value` sample line per series; histograms expand into
+//     cumulative `_bucket{le=...}` samples plus `_sum` / `_count`.
+//   * JSON — a schema-versioned dump ({"schema": "vread-metrics/1"}) with
+//     one object per series carrying the typed value (counter value,
+//     gauge value + high-watermark, histogram buckets + p50/p95/p99).
+//
+// Both exporters also fold in the fault registry's per-point hit/fire
+// counters (vread_fault_hits_total / vread_fault_fires_total{point=...}),
+// so one dump accounts for injected faults alongside the degradation
+// counters they caused.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "metrics/registry.h"
+
+namespace vread::metrics {
+
+inline constexpr const char* kMetricsJsonSchema = "vread-metrics/1";
+
+void write_prometheus(std::ostream& os, const Registry& r = registry());
+void write_json(std::ostream& os, const Registry& r = registry());
+
+// Writes the registry to `path`, picking the format from the extension:
+// ".json" exports JSON, anything else (".prom", ".txt") the Prometheus
+// text exposition. Returns false if the file cannot be opened.
+bool write_file(const std::string& path, const Registry& r = registry());
+
+// JSON string escaping shared by every JSON emitter in the repo (export,
+// bench reports): escapes quotes, backslashes and control characters.
+std::string json_escape(const std::string& s);
+
+}  // namespace vread::metrics

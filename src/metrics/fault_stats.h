@@ -18,8 +18,7 @@ namespace vread::metrics {
 inline TablePrinter fault_table(const fault::Registry& r = fault::registry()) {
   TablePrinter t({"fault point", "hits", "fires", "armed"});
   for (const fault::Registry::Row& row : r.rows()) {
-    t.add_row({row.name, std::to_string(row.hits), std::to_string(row.fires),
-               row.armed ? "yes" : "no"});
+    t.add_row({row.name, row.hits, row.fires, row.armed ? "yes" : "no"});
   }
   return t;
 }
@@ -39,14 +38,14 @@ struct DegradationCounters {
 
 inline TablePrinter degradation_table(const DegradationCounters& c) {
   TablePrinter t({"degradation counter", "value"});
-  t.add_row({"daemon restarts (descriptor loss)", std::to_string(c.daemon_restarts)})
-      .add_row({"daemon remote retries", std::to_string(c.daemon_remote_retries)})
-      .add_row({"daemon RDMA->TCP failovers", std::to_string(c.daemon_rdma_failovers)})
-      .add_row({"daemon refresh failures", std::to_string(c.daemon_refresh_failures)})
-      .add_row({"client shm-call retries", std::to_string(c.client_retries)})
-      .add_row({"client fallback reads", std::to_string(c.client_fallback_reads)})
-      .add_row({"client cooldowns entered", std::to_string(c.client_cooldowns)})
-      .add_row({"client shortcut re-probes", std::to_string(c.client_reprobes)});
+  t.add_row({"daemon restarts (descriptor loss)", c.daemon_restarts})
+      .add_row({"daemon remote retries", c.daemon_remote_retries})
+      .add_row({"daemon RDMA->TCP failovers", c.daemon_rdma_failovers})
+      .add_row({"daemon refresh failures", c.daemon_refresh_failures})
+      .add_row({"client shm-call retries", c.client_retries})
+      .add_row({"client fallback reads", c.client_fallback_reads})
+      .add_row({"client cooldowns entered", c.client_cooldowns})
+      .add_row({"client shortcut re-probes", c.client_reprobes});
   return t;
 }
 

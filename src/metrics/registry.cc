@@ -1,0 +1,162 @@
+#include "metrics/registry.h"
+
+#include <algorithm>
+
+namespace vread::metrics {
+
+const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max_;
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(p/100 * count).
+  const auto target = static_cast<std::uint64_t>(
+      p / 100.0 * static_cast<double>(count_) + 0.9999999999);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i];
+    if (cum >= target && buckets_[i] > 0) {
+      // Upper bound of the matched bucket, clamped to the observed max —
+      // stays within the bucket (max_ is never in an earlier bucket than
+      // the rank bucket).
+      return std::min(bucket_upper(i), max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::uint64_t Registry::add(Series s) {
+  const std::uint64_t id = next_id_++;
+  live_.emplace(id, std::move(s));
+  return id;
+}
+
+void Registry::retire(std::uint64_t id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  const Series& s = it->second;
+  Retired& r = retired_[SeriesKey{s.name, s.labels}];
+  r.kind = s.kind;
+  if (r.help.empty()) r.help = s.help;
+  switch (s.kind) {
+    case MetricKind::kCounter:
+      r.counter += s.counter->value();
+      break;
+    case MetricKind::kGauge:
+      r.gauge += s.gauge->value();
+      r.gauge_high = std::max(r.gauge_high, s.gauge->high());
+      break;
+    case MetricKind::kHistogram:
+      r.histogram.merge(*s.histogram);
+      break;
+  }
+  live_.erase(it);
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  // Fold live instruments and the retired accumulation into one series map.
+  std::map<SeriesKey, Snapshot::Row> out;
+  auto row_for = [&out](const std::string& name, const Labels& labels,
+                        const std::string& help, MetricKind kind) -> Snapshot::Row& {
+    auto [it, inserted] = out.try_emplace(SeriesKey{name, labels});
+    Snapshot::Row& row = it->second;
+    if (inserted) {
+      row.name = name;
+      row.labels = labels;
+      row.kind = kind;
+    }
+    if (row.help.empty()) row.help = help;
+    return row;
+  };
+  for (const auto& [key, r] : retired_) {
+    Snapshot::Row& row = row_for(key.first, key.second, r.help, r.kind);
+    row.counter += r.counter;
+    row.gauge += r.gauge;
+    row.gauge_high = std::max(row.gauge_high, r.gauge_high);
+    row.histogram.merge(r.histogram);
+  }
+  for (const auto& [id, s] : live_) {
+    (void)id;
+    Snapshot::Row& row = row_for(s.name, s.labels, s.help, s.kind);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        row.counter += s.counter->value();
+        break;
+      case MetricKind::kGauge:
+        row.gauge += s.gauge->value();
+        row.gauge_high = std::max(row.gauge_high, s.gauge->high());
+        break;
+      case MetricKind::kHistogram:
+        row.histogram.merge(*s.histogram);
+        break;
+    }
+  }
+  Snapshot snap;
+  snap.rows.reserve(out.size());
+  for (auto& [key, row] : out) snap.rows.push_back(std::move(row));
+  return snap;
+}
+
+Counter& MetricGroup::counter(std::string name, Labels labels, std::string help) {
+  std::sort(labels.begin(), labels.end());
+  Counter& c = counters_.emplace_back();
+  Registry::Series s;
+  s.name = std::move(name);
+  s.labels = std::move(labels);
+  s.help = std::move(help);
+  s.kind = MetricKind::kCounter;
+  s.counter = &c;
+  ids_.push_back(r_.add(std::move(s)));
+  return c;
+}
+
+Gauge& MetricGroup::gauge(std::string name, Labels labels, std::string help) {
+  std::sort(labels.begin(), labels.end());
+  Gauge& g = gauges_.emplace_back();
+  Registry::Series s;
+  s.name = std::move(name);
+  s.labels = std::move(labels);
+  s.help = std::move(help);
+  s.kind = MetricKind::kGauge;
+  s.gauge = &g;
+  ids_.push_back(r_.add(std::move(s)));
+  return g;
+}
+
+Histogram& MetricGroup::histogram(std::string name, Labels labels, std::string help) {
+  std::sort(labels.begin(), labels.end());
+  Histogram& h = histograms_.emplace_back();
+  Registry::Series s;
+  s.name = std::move(name);
+  s.labels = std::move(labels);
+  s.help = std::move(help);
+  s.kind = MetricKind::kHistogram;
+  s.histogram = &h;
+  ids_.push_back(r_.add(std::move(s)));
+  return h;
+}
+
+}  // namespace vread::metrics

@@ -1,0 +1,226 @@
+// Process-wide typed metrics registry (DESIGN.md §9).
+//
+// Three instrument kinds cover everything the stack reports:
+//   * Counter   — monotonic event/byte count (reads served, retries, ...);
+//   * Gauge     — instantaneous level with a high-watermark (ring depth,
+//                 open descriptors, descriptor-cache size);
+//   * Histogram — fixed log2-bucket distribution giving p50/p95/p99
+//                 without storing or sorting samples (read latency,
+//                 ring-full waits).
+//
+// Ownership model: instruments are OWNED by the instrumented object
+// through a `MetricGroup` member and registered into a `Registry` for the
+// group's lifetime. When the group dies (a Cluster tears down its daemons
+// between bench cells), the registry folds the instrument's final value
+// into a retained per-series accumulation instead of forgetting it, so an
+// end-of-process export still accounts for every run the process made.
+// Same (name, labels) series from successive — or concurrent — groups
+// merge by summation.
+//
+// Design rules (mirroring trace/tracer.h):
+//  - Metrics are write-only for the simulation: instruments never
+//    co_await, never charge cycles and never branch simulation logic, so
+//    a run with a populated registry (or an exporter attached) is
+//    bit-identical to a run with a fresh one (asserted by test).
+//  - Updates are O(1) pointer bumps; name lookup happens once, at
+//    instrument creation, never on the hot path.
+//  - Everything is deterministic: series enumerate in sorted
+//    (name, labels) order.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vread::metrics {
+
+// Sorted key=value pairs identifying one series of a metric family.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_ += n; }
+  std::uint64_t value() const { return v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    v_ = v;
+    if (v > high_) high_ = v;
+  }
+  void add(std::int64_t d) { set(v_ + d); }
+  void sub(std::int64_t d) { set(v_ - d); }
+  std::int64_t value() const { return v_; }
+  // High-watermark since creation (never reset): the "how deep did the
+  // ring actually get" number a point-in-time gauge cannot answer.
+  std::int64_t high() const { return high_; }
+
+ private:
+  std::int64_t v_ = 0;
+  std::int64_t high_ = 0;
+};
+
+// Fixed log2-bucket histogram over non-negative integer samples (ns, bytes).
+// Bucket i counts samples whose bit width is i: bucket 0 holds value 0,
+// bucket i (i >= 1) holds [2^(i-1), 2^i). Quantiles cost one 65-entry walk
+// — no per-call sort, no stored samples.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // value 0 + 64 bit widths
+
+  void observe(std::uint64_t v) {
+    ++buckets_[bucket_index(v)];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  std::uint64_t bucket_count(std::size_t i) const { return buckets_[i]; }
+
+  // Nearest-rank quantile, resolved to the matched bucket's inclusive
+  // upper bound and clamped to the observed max — always inside the
+  // matched bucket's [lower, upper] range (asserted by test).
+  std::uint64_t percentile(double p) const;
+
+  static std::size_t bucket_index(std::uint64_t v) {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  // Inclusive value range covered by bucket i.
+  static std::uint64_t bucket_lower(std::size_t i) {
+    return i <= 1 ? 0 : std::uint64_t(1) << (i - 1);
+  }
+  static std::uint64_t bucket_upper(std::size_t i) {
+    if (i == 0) return 0;
+    if (i >= 64) return ~std::uint64_t(0);
+    return (std::uint64_t(1) << i) - 1;
+  }
+
+  // Fold `other` into this histogram (series retirement, snapshots).
+  void merge(const Histogram& other);
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricKind k);
+
+class MetricGroup;
+
+class Registry {
+ public:
+  // One exportable series: either a live instrument (borrowed pointer into
+  // a MetricGroup) or the retained sum of retired instruments. Exactly one
+  // of counter/gauge/histogram is non-null per `kind`.
+  struct Series {
+    std::string name;
+    Labels labels;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+
+  // Every live series merged with the retained (retired) series, summed
+  // per (name, labels), sorted by (name, labels). The instruments behind
+  // the returned rows are materialized copies: safe to hold across group
+  // destruction.
+  struct Snapshot {
+    struct Row {
+      std::string name;
+      Labels labels;
+      std::string help;
+      MetricKind kind = MetricKind::kCounter;
+      std::uint64_t counter = 0;
+      std::int64_t gauge = 0;
+      std::int64_t gauge_high = 0;
+      Histogram histogram;
+    };
+    std::vector<Row> rows;
+  };
+  Snapshot snapshot() const;
+
+  std::size_t live_series() const { return live_.size(); }
+  std::size_t retired_series() const { return retired_.size(); }
+
+  // Drops the retained (retired) accumulation. Live instruments are owned
+  // by their groups and unaffected. Benches use this to scope a registry
+  // dump to one measurement rather than the whole process.
+  void reset_retired() { retired_.clear(); }
+
+ private:
+  friend class MetricGroup;
+
+  using SeriesKey = std::pair<std::string, Labels>;
+  struct Retired {
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::uint64_t counter = 0;
+    std::int64_t gauge = 0;
+    std::int64_t gauge_high = 0;
+    Histogram histogram;
+  };
+
+  std::uint64_t add(Series s);
+  void retire(std::uint64_t id);
+
+  std::map<std::uint64_t, Series> live_;
+  std::map<SeriesKey, Retired> retired_;
+  std::uint64_t next_id_ = 1;
+};
+
+// The process-wide registry, mirroring fault::registry() and
+// trace::tracer(): instrumentation sites (daemons, channels, clients) have
+// no natural place to carry a registry pointer. Tests may construct their
+// own Registry and pass it to MetricGroup for isolation.
+Registry& registry();
+
+// Instrument factory + RAII registration for one instrumented object.
+// Instruments live exactly as long as the group; on destruction their
+// final values fold into the registry's retained accumulation.
+class MetricGroup {
+ public:
+  explicit MetricGroup(Registry& r = registry()) : r_(r) {}
+  MetricGroup(const MetricGroup&) = delete;
+  MetricGroup& operator=(const MetricGroup&) = delete;
+  ~MetricGroup() {
+    for (std::uint64_t id : ids_) r_.retire(id);
+  }
+
+  Counter& counter(std::string name, Labels labels = {}, std::string help = "");
+  Gauge& gauge(std::string name, Labels labels = {}, std::string help = "");
+  Histogram& histogram(std::string name, Labels labels = {}, std::string help = "");
+
+ private:
+  Registry& r_;
+  // deques: stable addresses as instruments accrete.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<std::uint64_t> ids_;
+};
+
+}  // namespace vread::metrics

@@ -10,6 +10,19 @@
 
 namespace vread::metrics {
 
+// All the order statistics a bench table needs, computed with ONE sort —
+// callers that used to issue percentile() several times (each sorting a
+// fresh copy) ask for a Summary instead.
+struct Summary {
+  std::size_t count = 0;
+  sim::SimTime min = 0;
+  double mean = 0.0;
+  sim::SimTime p50 = 0;
+  sim::SimTime p95 = 0;
+  sim::SimTime p99 = 0;
+  sim::SimTime max = 0;
+};
+
 // Collects duration samples; percentile queries sort a copy on demand.
 class LatencyRecorder {
  public:
@@ -41,6 +54,29 @@ class LatencyRecorder {
     std::sort(sorted.begin(), sorted.end());
     double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
     return sorted[static_cast<std::size_t>(rank + 0.5)];
+  }
+
+  // min/mean/p50/p95/p99/max in one pass over one sorted copy. An empty
+  // recorder summarizes to all zeros, matching the scalar accessors.
+  Summary summary() const {
+    Summary s;
+    s.count = samples_.size();
+    if (samples_.empty()) return s;
+    std::vector<sim::SimTime> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    s.min = sorted.front();
+    s.max = sorted.back();
+    double sum = 0.0;
+    for (sim::SimTime v : sorted) sum += static_cast<double>(v);
+    s.mean = sum / static_cast<double>(sorted.size());
+    auto nearest_rank = [&sorted](double p) {
+      double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+      return sorted[static_cast<std::size_t>(rank + 0.5)];
+    };
+    s.p50 = nearest_rank(50);
+    s.p95 = nearest_rank(95);
+    s.p99 = nearest_rank(99);
+    return s;
   }
 
   void clear() { samples_.clear(); }

@@ -1,60 +1,24 @@
-// ASCII table and bar-chart rendering for the benchmark harnesses.
+// ASCII table and bar-chart rendering for the benchmark harnesses and
+// introspection tools.
 //
-// Every bench prints the paper's rows/series through these helpers so the
-// output of `bench/fig11_dfsio_throughput` looks like the figure it
-// regenerates: a caption, column headers, aligned numeric cells, and for
-// figure-style output a proportional horizontal bar per series point.
+// Every table in the repo — bench figure tables, the CPU-breakdown panels,
+// the fault/degradation counter tables, the trace aggregation tables and
+// vreadstat's daemon view — renders through TablePrinter, so column
+// widths, numeric formatting and alignment come from exactly one place:
+// text cells left-align, numeric cells (constructed from a number, or via
+// num()/pct_cell()) right-align, and for figure-style output a
+// proportional horizontal bar per series point.
 #pragma once
 
+#include <cstdint>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace vread::metrics {
-
-class TablePrinter {
- public:
-  explicit TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
-
-  TablePrinter& add_row(std::vector<std::string> cells) {
-    rows_.push_back(std::move(cells));
-    return *this;
-  }
-
-  void print(std::ostream& os = std::cout) const {
-    std::vector<std::size_t> widths(headers_.size(), 0);
-    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
-    for (const auto& row : rows_) {
-      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
-        widths[i] = std::max(widths[i], row[i].size());
-      }
-    }
-    auto print_sep = [&] {
-      os << '+';
-      for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
-      os << '\n';
-    };
-    auto print_cells = [&](const std::vector<std::string>& cells) {
-      os << '|';
-      for (std::size_t i = 0; i < widths.size(); ++i) {
-        std::string cell = i < cells.size() ? cells[i] : "";
-        os << ' ' << std::left << std::setw(static_cast<int>(widths[i])) << cell << " |";
-      }
-      os << '\n';
-    };
-    print_sep();
-    print_cells(headers_);
-    print_sep();
-    for (const auto& row : rows_) print_cells(row);
-    print_sep();
-  }
-
- private:
-  std::vector<std::string> headers_;
-  std::vector<std::vector<std::string>> rows_;
-};
 
 // Formats a double with fixed precision.
 inline std::string fmt(double v, int precision = 1) {
@@ -69,6 +33,77 @@ inline std::string fmt_pct(double v, int precision = 1) {
   ss << std::showpos << std::fixed << std::setprecision(precision) << v << "%";
   return ss.str();
 }
+
+// One table cell. Strings left-align; cells built from numbers (or
+// explicitly marked numeric) right-align.
+struct Cell {
+  std::string text;
+  bool numeric = false;
+
+  Cell() = default;
+  Cell(std::string s) : text(std::move(s)) {}          // NOLINT(runtime/explicit)
+  Cell(const char* s) : text(s) {}                     // NOLINT(runtime/explicit)
+  Cell(double v, int precision = 1)                    // NOLINT(runtime/explicit)
+      : text(fmt(v, precision)), numeric(true) {}
+  template <typename I,
+            typename = std::enable_if_t<std::is_integral_v<I> && !std::is_same_v<I, bool>>>
+  Cell(I v) : text(std::to_string(v)), numeric(true) {}  // NOLINT(runtime/explicit)
+};
+
+// Marks an already-formatted string as numeric (right-aligned): "3.2x",
+// "12.3 ms", histogram quantiles with units.
+inline Cell num(std::string s) {
+  Cell c(std::move(s));
+  c.numeric = true;
+  return c;
+}
+
+// Signed-percentage cell (right-aligned).
+inline Cell pct_cell(double v, int precision = 1) { return num(fmt_pct(v, precision)); }
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  TablePrinter& add_row(std::vector<Cell> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].text.size());
+      }
+    }
+    auto print_sep = [&] {
+      os << '+';
+      for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+    };
+    auto print_cells = [&](const std::vector<Cell>& cells) {
+      os << '|';
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const Cell cell = i < cells.size() ? cells[i] : Cell{};
+        os << ' ' << (cell.numeric ? std::right : std::left)
+           << std::setw(static_cast<int>(widths[i])) << cell.text << " |";
+      }
+      os << '\n';
+    };
+    print_sep();
+    std::vector<Cell> header_cells(headers_.begin(), headers_.end());
+    print_cells(header_cells);
+    print_sep();
+    for (const auto& row : rows_) print_cells(row);
+    print_sep();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
 
 // Horizontal bar chart: one labelled bar per value, scaled to max.
 class BarChart {

@@ -1,8 +1,9 @@
 #include "trace/aggregate.h"
 
 #include <algorithm>
-#include <iomanip>
 #include <ostream>
+
+#include "metrics/table.h"
 
 namespace vread::trace {
 
@@ -68,44 +69,50 @@ namespace {
 
 double ms(sim::SimTime t) { return sim::to_millis(t); }
 
-void print_row(std::ostream& os, const std::string& label, const ReadBreakdown& r) {
-  os << "  " << std::left << std::setw(10) << label << std::right << std::setw(12) << r.bytes
-     << std::setw(10) << std::fixed << std::setprecision(3) << ms(r.elapsed()) << std::setw(8)
-     << std::setprecision(2) << r.copies() << std::setw(10) << std::setprecision(3)
-     << ms(r.sync_wait) << std::setw(10) << ms(r.disk) << std::setw(10) << ms(r.transport)
-     << std::setw(8) << r.retries << std::setw(6) << r.fallbacks << "\n";
+std::vector<metrics::Cell> read_row(const std::string& label, const ReadBreakdown& r) {
+  return {label,
+          r.bytes,
+          metrics::Cell(ms(r.elapsed()), 3),
+          metrics::Cell(r.copies(), 2),
+          metrics::Cell(ms(r.sync_wait), 3),
+          metrics::Cell(ms(r.disk), 3),
+          metrics::Cell(ms(r.transport), 3),
+          r.retries,
+          r.fallbacks};
 }
 
 }  // namespace
 
 void print_read_table(std::ostream& os, const RunSummary& s, std::size_t max_rows) {
   os << "  per-read attribution (ms):\n";
-  os << "  " << std::left << std::setw(10) << "read" << std::right << std::setw(12) << "bytes"
-     << std::setw(10) << "elapsed" << std::setw(8) << "copies" << std::setw(10) << "syncwait"
-     << std::setw(10) << "disk" << std::setw(10) << "wire" << std::setw(8) << "retries"
-     << std::setw(6) << "fb" << "\n";
+  metrics::TablePrinter t({"read", "bytes", "elapsed", "copies", "syncwait", "disk",
+                           "wire", "retries", "fb"});
   std::size_t shown = std::min(max_rows, s.reads.size());
   for (std::size_t i = 0; i < shown; ++i) {
     const ReadBreakdown& r = s.reads[i];
-    print_row(os, std::string(r.name) + "#" + std::to_string(r.read), r);
+    t.add_row(read_row(std::string(r.name) + "#" + std::to_string(r.read), r));
   }
-  if (shown < s.reads.size())
-    os << "  ... (" << (s.reads.size() - shown) << " more reads)\n";
-  print_row(os, "TOTAL", s.total);
+  if (shown < s.reads.size()) {
+    t.add_row({"... (" + std::to_string(s.reads.size() - shown) + " more reads)"});
+  }
+  t.add_row(read_row("TOTAL", s.total));
+  t.print(os);
 }
 
 void print_copy_sites(std::ostream& os, const RunSummary& s) {
   os << "  copy sites (bytes moved; x = per delivered byte):\n";
-  for (const auto& [site, bytes] : s.total.copy_by_site) {
+  metrics::TablePrinter t({"site", "bytes", "per byte"});
+  auto per_byte = [&s](std::uint64_t bytes) {
     double x = s.total.bytes == 0
                    ? 0.0
                    : static_cast<double>(bytes) / static_cast<double>(s.total.bytes);
-    os << "    " << std::left << std::setw(28) << site << std::right << std::setw(14) << bytes
-       << "  x" << std::fixed << std::setprecision(2) << x << "\n";
+    return metrics::num("x" + metrics::fmt(x, 2));
+  };
+  for (const auto& [site, bytes] : s.total.copy_by_site) {
+    t.add_row({site, bytes, per_byte(bytes)});
   }
-  os << "    " << std::left << std::setw(28) << "copy count" << std::right << std::setw(14)
-     << s.total.copy_bytes << "  x" << std::fixed << std::setprecision(2) << s.total.copies()
-     << "\n";
+  t.add_row({"copy count", s.total.copy_bytes, per_byte(s.total.copy_bytes)});
+  t.print(os);
 }
 
 std::map<std::string, sim::SimTime> sync_wait_by_group(const Tracer& t,
@@ -124,16 +131,20 @@ std::map<std::string, sim::SimTime> sync_wait_by_group(const Tracer& t,
 void print_sync_wait_by_group(std::ostream& os,
                               const std::map<std::string, sim::SimTime>& waits,
                               sim::SimTime elapsed) {
-  os << "  measured sync-wait by group (ms; window " << std::fixed << std::setprecision(1)
-     << ms(elapsed) << " ms):\n";
+  os << "  measured sync-wait by group (ms; window " << metrics::fmt(ms(elapsed), 1)
+     << " ms):\n";
+  metrics::TablePrinter t({"group", "wait ms", "of window"});
   for (const auto& [group, wait] : waits) {
-    os << "    " << std::left << std::setw(16) << group << std::right << std::setw(10)
-       << std::fixed << std::setprecision(3) << ms(wait);
-    if (elapsed > 0)
-      os << "  (" << std::setprecision(1)
-         << 100.0 * static_cast<double>(wait) / static_cast<double>(elapsed) << "%)";
-    os << "\n";
+    std::vector<metrics::Cell> row{group, metrics::Cell(ms(wait), 3)};
+    if (elapsed > 0) {
+      row.push_back(metrics::num(
+          metrics::fmt(100.0 * static_cast<double>(wait) / static_cast<double>(elapsed),
+                       1) +
+          "%"));
+    }
+    t.add_row(std::move(row));
   }
+  t.print(os);
 }
 
 }  // namespace vread::trace

@@ -22,6 +22,7 @@
 #include "fault/status.h"
 #include "hw/cost_model.h"
 #include "mem/buffer.h"
+#include "metrics/registry.h"
 #include "sim/sync.h"
 #include "virt/host.h"
 #include "virt/vm.h"
@@ -60,7 +61,20 @@ class ShmChannel {
         requests_(guest.host().sim()),
         chunks_(guest.host().sim()),
         slots_(guest.host().sim(), cm.shm_slot_count),
-        call_mutex_(guest.host().sim(), 1) {}
+        call_mutex_(guest.host().sim(), 1),
+        timeouts_(metrics_.counter("vread_shm_timeouts_total", {{"vm", guest.name()}},
+                                   "Guest calls that hit the response timeout")),
+        corruptions_(metrics_.counter("vread_shm_corruptions_total",
+                                      {{"vm", guest.name()}},
+                                      "Responses failing payload validation")),
+        slot_waits_(metrics_.counter("vread_shm_slot_waits_total",
+                                     {{"vm", guest.name()}},
+                                     "Producer stalls on a full slot ring")),
+        ring_depth_g_(metrics_.gauge("vread_shm_ring_depth", {{"vm", guest.name()}},
+                                     "Slots in use (high = deepest the ring got)")),
+        ring_wait_ns_(metrics_.histogram("vread_shm_ring_wait_ns",
+                                         {{"vm", guest.name()}},
+                                         "Producer wait for free slots when blocked")) {}
   ShmChannel(const ShmChannel&) = delete;
   ShmChannel& operator=(const ShmChannel&) = delete;
 
@@ -83,7 +97,7 @@ class ShmChannel {
       out = ShmResponse{};
       out.id = req.id;
       out.status = kVReadErrTimeout;
-      ++timeouts_;
+      timeouts_.inc();
       call_mutex_.release();
       co_return;
     }
@@ -110,6 +124,8 @@ class ShmChannel {
                     c.data.size());
         out.data.append(c.data);
         slots_.release(used);
+        ring_depth_g_.set(
+            static_cast<std::int64_t>(cm_.shm_slot_count - slots_.available()));
       } else {
         co_await guest_.run_vcpu(cm_.interrupt_inject, hw::CycleCategory::kInterrupt, ctx);
       }
@@ -120,7 +136,7 @@ class ShmChannel {
     if (fault::registry().should_fire(fault::points::kShmCorrupt)) {
       out.data = mem::Buffer();
       out.status = kVReadErrCorrupt;
-      ++corruptions_;
+      corruptions_.inc();
     }
     call_mutex_.release();
   }
@@ -154,10 +170,17 @@ class ShmChannel {
       const std::uint64_t used = slots_for(n);
       const sim::SimTime w0 = guest_.host().sim().now();
       co_await slots_.acquire(used);
-      // Ring-full backpressure: the guest has not drained earlier chunks.
-      if (tr.enabled() && guest_.host().sim().now() > w0)
-        tr.record(ctx, trace::SpanKind::kSyncWait, "shm-ring-full",
-                  static_cast<int>(daemon_tid), w0, guest_.host().sim().now());
+      const sim::SimTime waited = guest_.host().sim().now() - w0;
+      if (waited > 0) {
+        // Ring-full backpressure: the guest has not drained earlier chunks.
+        slot_waits_.inc();
+        ring_wait_ns_.observe(static_cast<std::uint64_t>(waited));
+        if (tr.enabled())
+          tr.record(ctx, trace::SpanKind::kSyncWait, "shm-ring-full",
+                    static_cast<int>(daemon_tid), w0, guest_.host().sim().now());
+      }
+      ring_depth_g_.set(
+          static_cast<std::int64_t>(cm_.shm_slot_count - slots_.available()));
       co_await cpu.consume(daemon_tid, cm_.shm_slot_overhead * used,
                            hw::CycleCategory::kVreadBufferCopy, ctx);
       if (charge_copy) {
@@ -187,8 +210,11 @@ class ShmChannel {
 
   std::uint64_t free_slots() const { return slots_.available(); }
   sim::SimTime call_timeout() const { return call_timeout_; }
-  std::uint64_t timeouts() const { return timeouts_; }
-  std::uint64_t corruptions() const { return corruptions_; }
+  std::uint64_t timeouts() const { return timeouts_.value(); }
+  std::uint64_t corruptions() const { return corruptions_.value(); }
+  std::uint64_t slot_waits() const { return slot_waits_.value(); }
+  // Deepest the ring ever got, in slots (backpressure headroom indicator).
+  std::int64_t ring_depth_high() const { return ring_depth_g_.high(); }
 
  private:
   struct Chunk {
@@ -209,12 +235,16 @@ class ShmChannel {
   Vm& guest_;
   const hw::CostModel& cm_;
   sim::SimTime call_timeout_;
-  std::uint64_t timeouts_ = 0;
-  std::uint64_t corruptions_ = 0;
   sim::Mailbox<ShmRequest> requests_;
   sim::Mailbox<Chunk> chunks_;
   sim::Semaphore slots_;
   sim::Semaphore call_mutex_;
+  metrics::MetricGroup metrics_;
+  metrics::Counter& timeouts_;
+  metrics::Counter& corruptions_;
+  metrics::Counter& slot_waits_;
+  metrics::Gauge& ring_depth_g_;
+  metrics::Histogram& ring_wait_ns_;
 };
 
 }  // namespace vread::virt

@@ -1,0 +1,373 @@
+// Metrics registry coverage (DESIGN.md §9): instrument semantics
+// (counter monotonicity, gauge high-watermark, log2-histogram bucket and
+// quantile invariants), the MetricGroup retire/fold lifecycle, snapshot
+// merging of live and retired series, golden-file checks of both
+// expositions (Prometheus text and JSON), and the zero-cost contract —
+// a run with the registry exported mid-flight is bit-identical to a run
+// that never looks at it (mirroring trace_test.cc's tracing-off check).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "apps/cluster.h"
+#include "apps/dfsio.h"
+#include "core/vread_daemon.h"
+#include "fault/fault.h"
+#include "mem/buffer.h"
+#include "metrics/export.h"
+#include "metrics/registry.h"
+
+namespace vread::metrics {
+namespace {
+
+// ------------------------------------------------------------- instruments
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, TracksHighWatermark) {
+  Gauge g;
+  g.set(5);
+  g.set(12);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.high(), 12);
+  g.add(4);
+  g.sub(2);
+  EXPECT_EQ(g.value(), 5);
+  EXPECT_EQ(g.high(), 12);
+}
+
+TEST(HistogramBuckets, IndexAndBoundsAreConsistent) {
+  // Every sample must land in a bucket whose [lower, upper] range
+  // contains it — the invariant the quantile walk relies on.
+  for (std::uint64_t v :
+       {0ULL, 1ULL, 2ULL, 3ULL, 4ULL, 7ULL, 8ULL, 1023ULL, 1024ULL, 1025ULL,
+        (1ULL << 40) - 1, 1ULL << 40, ~0ULL}) {
+    const std::size_t i = Histogram::bucket_index(v);
+    EXPECT_LT(i, Histogram::kBuckets) << v;
+    EXPECT_GE(v, Histogram::bucket_lower(i)) << v;
+    EXPECT_LE(v, Histogram::bucket_upper(i)) << v;
+  }
+  // Bucket ranges tile the value space: upper(i) + 1 == lower(i + 1).
+  for (std::size_t i = 1; i + 1 < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::bucket_upper(i) + 1, Histogram::bucket_lower(i + 1)) << i;
+  }
+}
+
+TEST(Histogram, CountSumMinMaxMean) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  for (std::uint64_t v : {100ULL, 200ULL, 400ULL, 800ULL}) h.observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1500u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 800u);
+  EXPECT_DOUBLE_EQ(h.mean(), 375.0);
+  // count() equals the sum of every bucket.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) total += h.bucket_count(i);
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(Histogram, PercentilesAreMonotonicAndInsideObservedRange) {
+  Histogram h;
+  for (std::uint64_t i = 1; i <= 1000; ++i) h.observe(i * 17);
+  const std::uint64_t p50 = h.percentile(50);
+  const std::uint64_t p95 = h.percentile(95);
+  const std::uint64_t p99 = h.percentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  for (std::uint64_t p : {p50, p95, p99}) {
+    EXPECT_GE(p, h.min());
+    EXPECT_LE(p, h.max());
+  }
+  // The quantile resolves to the matched bucket's range: the true
+  // nearest-rank value and the reported one share a bucket.
+  const std::uint64_t true_p50 = 500 * 17;  // rank 500 of 1..1000 (*17)
+  EXPECT_EQ(Histogram::bucket_index(p50), Histogram::bucket_index(true_p50));
+}
+
+TEST(Histogram, PercentileOfSingleSampleIsThatSamplesBucket) {
+  Histogram h;
+  h.observe(4242);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.percentile(p), 4242u) << p;  // clamped to observed max
+  }
+}
+
+TEST(Histogram, MergeFoldsCountsAndExtremes) {
+  Histogram a, b;
+  a.observe(10);
+  a.observe(20);
+  b.observe(5);
+  b.observe(40);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 75u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 40u);
+}
+
+// -------------------------------------------------------- group lifecycle
+
+TEST(Registry, GroupRegistersLiveSeries) {
+  Registry r;
+  MetricGroup g(r);
+  Counter& c = g.counter("test_total", {{"vm", "a"}}, "help text");
+  c.inc(7);
+  EXPECT_EQ(r.live_series(), 1u);
+  const Registry::Snapshot snap = r.snapshot();
+  ASSERT_EQ(snap.rows.size(), 1u);
+  EXPECT_EQ(snap.rows[0].name, "test_total");
+  EXPECT_EQ(snap.rows[0].counter, 7u);
+}
+
+TEST(Registry, RetiredValuesFoldIntoAccumulation) {
+  Registry r;
+  {
+    MetricGroup g(r);
+    g.counter("reads_total", {{"host", "h1"}}).inc(5);
+    g.gauge("depth", {{"host", "h1"}}).set(9);
+    g.histogram("lat_ns", {{"host", "h1"}}).observe(1000);
+  }
+  EXPECT_EQ(r.live_series(), 0u);
+  EXPECT_EQ(r.retired_series(), 3u);
+  const Registry::Snapshot snap = r.snapshot();
+  ASSERT_EQ(snap.rows.size(), 3u);
+  // Rows sorted by (name, labels): depth, lat_ns, reads_total.
+  EXPECT_EQ(snap.rows[0].name, "depth");
+  EXPECT_EQ(snap.rows[0].gauge_high, 9);
+  EXPECT_EQ(snap.rows[1].name, "lat_ns");
+  EXPECT_EQ(snap.rows[1].histogram.count(), 1u);
+  EXPECT_EQ(snap.rows[2].name, "reads_total");
+  EXPECT_EQ(snap.rows[2].counter, 5u);
+}
+
+TEST(Registry, SuccessiveGroupsWithSameSeriesSum) {
+  Registry r;
+  {
+    MetricGroup g(r);
+    g.counter("reads_total", {{"host", "h1"}}).inc(5);
+  }
+  MetricGroup g2(r);
+  Counter& c2 = g2.counter("reads_total", {{"host", "h1"}});
+  c2.inc(3);
+  // Live 3 + retired 5 merge into one row of 8.
+  const Registry::Snapshot snap = r.snapshot();
+  ASSERT_EQ(snap.rows.size(), 1u);
+  EXPECT_EQ(snap.rows[0].counter, 8u);
+}
+
+TEST(Registry, DifferentLabelsAreDifferentSeries) {
+  Registry r;
+  MetricGroup g(r);
+  g.counter("reads_total", {{"host", "h1"}}).inc(1);
+  g.counter("reads_total", {{"host", "h2"}}).inc(2);
+  const Registry::Snapshot snap = r.snapshot();
+  ASSERT_EQ(snap.rows.size(), 2u);
+  EXPECT_EQ(snap.rows[0].counter, 1u);
+  EXPECT_EQ(snap.rows[1].counter, 2u);
+}
+
+TEST(Registry, ResetRetiredDropsOnlyRetired) {
+  Registry r;
+  {
+    MetricGroup g(r);
+    g.counter("a_total").inc(1);
+  }
+  MetricGroup g2(r);
+  g2.counter("b_total").inc(2);
+  r.reset_retired();
+  const Registry::Snapshot snap = r.snapshot();
+  ASSERT_EQ(snap.rows.size(), 1u);
+  EXPECT_EQ(snap.rows[0].name, "b_total");
+}
+
+// ------------------------------------------------------------ expositions
+
+// Both golden tests run against a local Registry and a clean fault
+// registry (the exporters append its per-point series).
+struct FaultGuard {
+  FaultGuard() { fault::registry().reset(); }
+  ~FaultGuard() { fault::registry().reset(); }
+};
+
+void add_golden_series(MetricGroup& g) {
+  g.counter("vread_test_reads_total", {{"host", "h1"}}, "Reads served").inc(3);
+  g.gauge("vread_test_depth", {{"vm", "a"}}, "Ring depth").set(2);
+  Histogram& h = g.histogram("vread_test_lat_ns", {}, "Latency");
+  h.observe(3);   // bucket le=3
+  h.observe(10);  // bucket le=15
+}
+
+TEST(Export, GoldenPrometheus) {
+  FaultGuard fg;
+  Registry r;
+  MetricGroup g(r);
+  add_golden_series(g);
+  std::ostringstream os;
+  write_prometheus(os, r);
+  EXPECT_EQ(os.str(),
+            "# HELP vread_test_depth Ring depth\n"
+            "# TYPE vread_test_depth gauge\n"
+            "vread_test_depth{vm=\"a\"} 2\n"
+            "# HELP vread_test_lat_ns Latency\n"
+            "# TYPE vread_test_lat_ns histogram\n"
+            "vread_test_lat_ns_bucket{le=\"0\"} 0\n"
+            "vread_test_lat_ns_bucket{le=\"1\"} 0\n"
+            "vread_test_lat_ns_bucket{le=\"3\"} 1\n"
+            "vread_test_lat_ns_bucket{le=\"7\"} 1\n"
+            "vread_test_lat_ns_bucket{le=\"15\"} 2\n"
+            "vread_test_lat_ns_bucket{le=\"+Inf\"} 2\n"
+            "vread_test_lat_ns_sum 13\n"
+            "vread_test_lat_ns_count 2\n"
+            "# HELP vread_test_reads_total Reads served\n"
+            "# TYPE vread_test_reads_total counter\n"
+            "vread_test_reads_total{host=\"h1\"} 3\n");
+}
+
+TEST(Export, GoldenJson) {
+  FaultGuard fg;
+  Registry r;
+  MetricGroup g(r);
+  add_golden_series(g);
+  std::ostringstream os;
+  write_json(os, r);
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"schema\": \"vread-metrics/1\",\n"
+            "  \"metrics\": [\n"
+            "    {\"name\": \"vread_test_depth\", \"kind\": \"gauge\", "
+            "\"labels\": {\"vm\": \"a\"}, \"value\": 2, \"high\": 2},\n"
+            "    {\"name\": \"vread_test_lat_ns\", \"kind\": \"histogram\", "
+            "\"count\": 2, \"sum\": 13, \"min\": 3, \"max\": 10, \"p50\": 3, "
+            "\"p95\": 10, \"p99\": 10, \"buckets\": [{\"le\": 3, \"count\": 1}, "
+            "{\"le\": 15, \"count\": 1}]},\n"
+            "    {\"name\": \"vread_test_reads_total\", \"kind\": \"counter\", "
+            "\"labels\": {\"host\": \"h1\"}, \"value\": 3}\n"
+            "  ],\n"
+            "  \"faults\": [\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(Export, FaultSeriesAppended) {
+  FaultGuard fg;
+  fault::registry().load_schedule("test.point:every=1,max=1");
+  fault::registry().should_fire("test.point");
+  Registry r;  // empty: only the fault series print
+  std::ostringstream os;
+  write_prometheus(os, r);
+  EXPECT_EQ(os.str(),
+            "vread_fault_hits_total{point=\"test.point\"} 1\n"
+            "vread_fault_fires_total{point=\"test.point\"} 1\n");
+}
+
+// ---------------------------------------------------------- zero overhead
+
+using apps::Cluster;
+using apps::ClusterConfig;
+using apps::DfsIoResult;
+using apps::TestDfsIo;
+
+struct RunResult {
+  std::uint64_t checksum = 0;
+  std::uint64_t bytes = 0;
+  sim::SimTime elapsed = 0;
+  std::uint64_t events = 0;
+};
+
+// One cold vRead read over the hybrid layout; optionally exports the
+// global registry and samples daemon snapshots mid-run and afterwards.
+RunResult run_workload(bool observed) {
+  constexpr std::uint64_t kSize = 8 * 1024 * 1024;
+  ClusterConfig cfg;
+  cfg.block_size = 4 * 1024 * 1024;
+  Cluster c(cfg);
+  c.add_host("host1");
+  c.add_host("host2");
+  c.add_vm("host1", "client");
+  c.create_namenode("client");
+  c.add_datanode("host1", "datanode1");
+  c.add_datanode("host2", "datanode2");
+  c.add_client("client");
+  c.preload_file("/data", kSize, 77, {{"datanode1"}, {"datanode2"}});
+  c.enable_vread();
+  c.drop_all_caches();
+  DfsIoResult r;
+  c.sim().spawn(TestDfsIo::read(c, "client", "/data", 1 << 20, r));
+  c.sim().run();
+  if (observed) {
+    // Everything an operator can do: snapshot the daemons, export both
+    // formats. None of it may touch simulation state.
+    for (const char* h : {"host1", "host2"}) {
+      core::DaemonStats s = c.daemon(h)->stats_snapshot();
+      (void)s;
+    }
+    std::ostringstream prom, json;
+    write_prometheus(prom);
+    write_json(json);
+    EXPECT_FALSE(prom.str().empty());
+    EXPECT_FALSE(json.str().empty());
+  }
+  return RunResult{r.checksum, r.bytes, c.sim().now(), c.sim().events_dispatched()};
+}
+
+TEST(ZeroOverhead, ExportingMetricsDoesNotChangeTheSimulation) {
+  FaultGuard fg;
+  RunResult plain = run_workload(/*observed=*/false);
+  RunResult observed = run_workload(/*observed=*/true);
+  EXPECT_EQ(plain.checksum,
+            mem::Buffer::deterministic(77, 0, 8 * 1024 * 1024).checksum());
+  // Bit-identical: instruments are write-only for the simulation — they
+  // never co_await, never charge cycles, never branch simulation logic.
+  EXPECT_EQ(plain.checksum, observed.checksum);
+  EXPECT_EQ(plain.bytes, observed.bytes);
+  EXPECT_EQ(plain.elapsed, observed.elapsed);
+  EXPECT_EQ(plain.events, observed.events);
+}
+
+TEST(DaemonIntrospection, SnapshotMatchesAccessors) {
+  FaultGuard fg;
+  constexpr std::uint64_t kSize = 4 * 1024 * 1024;
+  ClusterConfig cfg;
+  cfg.block_size = 4 * 1024 * 1024;
+  Cluster c(cfg);
+  c.add_host("host1");
+  c.add_vm("host1", "client");
+  c.create_namenode("client");
+  c.add_datanode("host1", "datanode1");
+  c.add_client("client");
+  c.preload_file("/data", kSize, 5, {{"datanode1"}});
+  c.enable_vread();
+  c.drop_all_caches();
+  DfsIoResult r;
+  c.run_job(TestDfsIo::read(c, "client", "/data", 1 << 20, r));
+  const core::VReadDaemon* d = c.daemon("host1");
+  const core::DaemonStats s = d->stats_snapshot();
+  EXPECT_EQ(s.host, "host1");
+  EXPECT_EQ(s.opens, d->opens());
+  EXPECT_EQ(s.reads, d->reads());
+  EXPECT_EQ(s.bytes_read, d->bytes_read());
+  EXPECT_GT(s.reads, 0u);
+  EXPECT_EQ(s.bytes_read, kSize);
+  // One latency observation per kRead request; each request may issue
+  // several low-level block reads, so reads >= latency count.
+  EXPECT_GT(s.read_latency.count(), 0u);
+  EXPECT_LE(s.read_latency.count(), s.reads);
+  EXPECT_GT(s.mount_lookup_hits + s.mount_lookup_misses, 0u);
+}
+
+}  // namespace
+}  // namespace vread::metrics

@@ -68,11 +68,51 @@ def check_sh_blocks(path, text, targets, problems):
                 )
 
 
+# The schema version strings must agree everywhere they are spelled out,
+# or a bumped emitter would silently invalidate the docs / the comparator.
+SCHEMA_SITES = {
+    "vread-bench": [
+        ("bench/common.h", re.compile(r'kBenchJsonSchema\s*=\s*"(vread-bench/[^"]+)"')),
+        ("tools/bench_compare.py", re.compile(r'SCHEMA\s*=\s*"(vread-bench/[^"]+)"')),
+        ("docs/METRICS.md", re.compile(r'(vread-bench/\d+)')),
+    ],
+    "vread-metrics": [
+        ("src/metrics/export.h",
+         re.compile(r'kMetricsJsonSchema\s*=\s*"(vread-metrics/[^"]+)"')),
+        ("docs/METRICS.md", re.compile(r'(vread-metrics/\d+)')),
+    ],
+}
+
+
+def check_schema_versions(problems):
+    for family, sites in SCHEMA_SITES.items():
+        seen = {}
+        for rel, pattern in sites:
+            path = ROOT / rel
+            if not path.exists():
+                problems.append(f"{rel}: missing (schema check for {family})")
+                continue
+            versions = set(pattern.findall(path.read_text()))
+            if not versions:
+                problems.append(f"{rel}: no {family} schema version found")
+                continue
+            if len(versions) > 1:
+                problems.append(f"{rel}: conflicting {family} versions {sorted(versions)}")
+            seen[rel] = versions
+        flat = {v for vs in seen.values() for v in vs}
+        if len(flat) > 1:
+            problems.append(
+                f"{family} schema version disagrees across files: "
+                + ", ".join(f"{r}={sorted(v)}" for r, v in sorted(seen.items()))
+            )
+
+
 def main():
     problems = []
     targets = cmake_targets()
     if not targets:
         problems.append("no CMake targets found — is this the repo root?")
+    check_schema_versions(problems)
     for path in md_files():
         text = path.read_text()
         check_links(path, text, problems)

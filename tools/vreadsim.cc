@@ -19,6 +19,7 @@
 #include "apps/cluster.h"
 #include "apps/dfsio.h"
 #include "mem/buffer.h"
+#include "metrics/export.h"
 #include "metrics/table.h"
 #include "trace/aggregate.h"
 #include "trace/chrome_export.h"
@@ -41,6 +42,8 @@ struct Options {
   std::uint64_t buffer_kb = 1024;
   bool trace = false;
   std::string trace_file = "vreadsim.trace.json";
+  bool metrics = false;
+  std::string metrics_file = "vreadsim.metrics.prom";
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -59,7 +62,10 @@ struct Options {
       << "  --trace [FILE]         per-read span tracing: prints the copy/sync\n"
       << "                         decomposition and writes a Chrome trace_event\n"
       << "                         JSON (default vreadsim.trace.json; load it in\n"
-      << "                         Perfetto / chrome://tracing)\n";
+      << "                         Perfetto / chrome://tracing)\n"
+      << "  --metrics [FILE]       dump the live metrics registry after the run\n"
+      << "                         (default vreadsim.metrics.prom; a .json\n"
+      << "                         extension selects the JSON exposition)\n";
   std::exit(2);
 }
 
@@ -94,6 +100,9 @@ Options parse(int argc, char** argv) {
     } else if (a == "--trace") {
       o.trace = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') o.trace_file = argv[++i];
+    } else if (a == "--metrics") {
+      o.metrics = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') o.metrics_file = argv[++i];
     } else {
       usage(argv[0]);
     }
@@ -193,6 +202,13 @@ int main(int argc, char** argv) {
     std::cout << "trace written to " << o.trace_file
               << " (load in Perfetto or chrome://tracing)\n";
     tr.disable();
+  }
+  if (o.metrics) {
+    if (!metrics::write_file(o.metrics_file)) {
+      std::cerr << "failed to write " << o.metrics_file << "\n";
+      return 1;
+    }
+    std::cout << "metrics written to " << o.metrics_file << "\n";
   }
   return 0;
 }

@@ -1,0 +1,234 @@
+// vreadstat — daemon introspection for the vRead simulator.
+//
+// Two modes:
+//
+//   vreadstat [options]      "live" mode: runs a TestDFSIO read on the
+//                            Fig. 10 topology with the vRead stack enabled
+//                            and, every --interval of simulated time, asks
+//                            each hypervisor daemon for a stats_snapshot()
+//                            and renders the per-daemon table — the view
+//                            `watch vreadstat` would give on a real
+//                            deployment. A final table and the shm-ring /
+//                            client-path counters print when the job ends.
+//
+//   vreadstat --from FILE    offline mode: parses a Prometheus
+//                            text-exposition file previously written by
+//                            `vreadsim --metrics FILE` (or any bench) and
+//                            renders it as a table. No simulation runs.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/cluster.h"
+#include "apps/dfsio.h"
+#include "core/vread_daemon.h"
+#include "mem/buffer.h"
+#include "metrics/table.h"
+
+using namespace vread;
+
+namespace {
+
+struct Options {
+  std::string from_file;               // non-empty selects offline mode
+  std::string scenario = "hybrid";     // colocated | remote | hybrid
+  std::string transport = "rdma";      // rdma | tcp
+  std::uint64_t interval_ms = 50;      // simulated sampling period
+  std::uint64_t file_mb = 64;
+  std::uint64_t buffer_kb = 1024;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [options]\n"
+            << "  --from FILE            render a Prometheus text file and exit\n"
+            << "  --scenario S           colocated | remote | hybrid (default hybrid)\n"
+            << "  --transport rdma|tcp   remote daemon transport (default rdma)\n"
+            << "  --interval MS          simulated sampling period (default 50)\n"
+            << "  --file-mb N            dataset size (default 64)\n"
+            << "  --buffer-kb N          read request size (default 1024)\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--from") {
+      o.from_file = next();
+    } else if (a == "--scenario") {
+      o.scenario = next();
+    } else if (a == "--transport") {
+      o.transport = next();
+    } else if (a == "--interval") {
+      o.interval_ms = std::stoull(next());
+    } else if (a == "--file-mb") {
+      o.file_mb = std::stoull(next());
+    } else if (a == "--buffer-kb") {
+      o.buffer_kb = std::stoull(next());
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (o.scenario != "colocated" && o.scenario != "remote" && o.scenario != "hybrid") {
+    usage(argv[0]);
+  }
+  if (o.transport != "rdma" && o.transport != "tcp") usage(argv[0]);
+  return o;
+}
+
+// ---- offline mode: render a Prometheus text-exposition file ----
+
+// Prometheus text format is line-oriented: `name{k="v",...} value` with
+// optional `# HELP` / `# TYPE` comments — trivially parseable, which is
+// exactly why the exporter writes it.
+int render_prometheus_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::cerr << "vreadstat: cannot open " << path << "\n";
+    return 1;
+  }
+  metrics::TablePrinter t({"metric", "labels", "value"});
+  std::string line;
+  std::size_t series = 0;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::string name = line;
+    std::string labels;
+    const std::size_t brace = line.find('{');
+    const std::size_t close = line.rfind('}');
+    std::size_t value_at;
+    if (brace != std::string::npos && close != std::string::npos && close > brace) {
+      name = line.substr(0, brace);
+      labels = line.substr(brace + 1, close - brace - 1);
+      value_at = close + 1;
+    } else {
+      const std::size_t sp = line.find(' ');
+      if (sp == std::string::npos) continue;
+      name = line.substr(0, sp);
+      value_at = sp;
+    }
+    std::string value = line.substr(value_at);
+    const std::size_t v0 = value.find_first_not_of(' ');
+    if (v0 == std::string::npos) continue;
+    value = value.substr(v0);
+    t.add_row({name, labels, metrics::num(value)});
+    ++series;
+  }
+  t.print();
+  std::cout << series << " samples from " << path << "\n";
+  return 0;
+}
+
+// ---- live mode ----
+
+std::string fmt_us(std::uint64_t ns) { return metrics::fmt(static_cast<double>(ns) / 1e3, 1); }
+
+void print_daemon_table(apps::Cluster& c, const std::vector<std::string>& hosts) {
+  metrics::TablePrinter t({"daemon", "opens", "reads", "MB", "remote", "refresh",
+                           "hit%", "descs", "p50us", "p95us", "p99us"});
+  for (const std::string& h : hosts) {
+    core::VReadDaemon* d = c.daemon(h);
+    if (d == nullptr) continue;
+    const core::DaemonStats s = d->stats_snapshot();
+    const std::uint64_t lookups = s.mount_lookup_hits + s.mount_lookup_misses;
+    const double hit_pct =
+        lookups == 0 ? 0.0
+                     : 100.0 * static_cast<double>(s.mount_lookup_hits) /
+                           static_cast<double>(lookups);
+    t.add_row({s.host, s.opens, s.reads,
+               metrics::Cell(static_cast<double>(s.bytes_read) / 1e6, 1), s.remote_reads,
+               s.refreshes, metrics::Cell(hit_pct, 1), s.open_descriptors,
+               metrics::num(fmt_us(s.read_latency.percentile(50))),
+               metrics::num(fmt_us(s.read_latency.percentile(95))),
+               metrics::num(fmt_us(s.read_latency.percentile(99)))});
+  }
+  t.print();
+}
+
+void print_peer_table(apps::Cluster& c, const std::vector<std::string>& hosts) {
+  metrics::TablePrinter t({"daemon", "peer", "transport", "MB"});
+  bool any = false;
+  for (const std::string& h : hosts) {
+    core::VReadDaemon* d = c.daemon(h);
+    if (d == nullptr) continue;
+    const core::DaemonStats s = d->stats_snapshot();
+    for (const auto& p : s.peers) {
+      t.add_row({s.host, p.peer, p.transport,
+                 metrics::Cell(static_cast<double>(p.bytes) / 1e6, 1)});
+      any = true;
+    }
+  }
+  if (any) {
+    std::cout << "daemon-to-daemon traffic:\n";
+    t.print();
+  }
+}
+
+sim::Task sampler(apps::Cluster& c, sim::SimTime interval,
+                  std::vector<std::string> hosts, const bool& done) {
+  for (;;) {
+    co_await c.sim().delay(interval);
+    if (done) co_return;
+    std::cout << "t=" << metrics::fmt(sim::to_seconds(c.sim().now()) * 1e3, 1) << " ms\n";
+    print_daemon_table(c, hosts);
+  }
+}
+
+int run_live(const Options& o) {
+  apps::ClusterConfig cfg;
+  apps::Cluster c(cfg);
+  c.add_host("host1");
+  c.add_host("host2");
+  c.add_vm("host1", "client");
+  c.create_namenode("client");
+  c.add_datanode("host1", "datanode1");
+  c.add_datanode("host2", "datanode2");
+  c.add_client("client");
+
+  std::vector<std::vector<std::string>> placement;
+  if (o.scenario == "colocated") {
+    placement = {{"datanode1"}};
+  } else if (o.scenario == "remote") {
+    placement = {{"datanode2"}};
+  } else {
+    placement = {{"datanode1"}, {"datanode2"}};
+  }
+  c.preload_file("/data", o.file_mb << 20, /*seed=*/2026, placement);
+  c.enable_vread(o.transport == "rdma" ? core::VReadDaemon::Transport::kRdma
+                                       : core::VReadDaemon::Transport::kTcp);
+  c.drop_all_caches();
+
+  const std::vector<std::string> hosts{"host1", "host2"};
+  std::cout << "scenario=" << o.scenario << " transport=" << o.transport
+            << " file=" << o.file_mb << "MB sampling every " << o.interval_ms
+            << " ms of simulated time\n\n";
+
+  bool done = false;
+  c.sim().spawn(sampler(c, sim::ms(static_cast<std::int64_t>(o.interval_ms)), hosts, done));
+  apps::DfsIoResult r;
+  c.run_job(apps::TestDfsIo::read(c, "client", "/data", o.buffer_kb << 10, r));
+  done = true;
+
+  const std::uint64_t expected =
+      mem::Buffer::deterministic(2026, 0, o.file_mb << 20).checksum();
+  std::cout << "\nfinal (" << metrics::fmt(r.throughput_mbps) << " MBps, content "
+            << (r.checksum == expected ? "verified" : "MISMATCH!") << "):\n";
+  print_daemon_table(c, hosts);
+  print_peer_table(c, hosts);
+  return r.checksum == expected ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  if (!o.from_file.empty()) return render_prometheus_file(o.from_file);
+  return run_live(o);
+}
