@@ -1,0 +1,190 @@
+// Ablation: the concurrent shortcut path (shm multiplexing, daemon worker
+// pool, client pread fan-out, shared block cache).
+//
+// A MapReduce-style VM runs N concurrent positional-read streams over one
+// warm HDFS file and we compare the single-flight stack (one outstanding
+// shm request, one daemon worker, no block cache, sequential pread — the
+// original layout) against the concurrent stack (request-id demux with 8
+// outstanding, 4 workers per client, block cache on, pread fan-out 4).
+// Nothing below hard-codes a speedup: the concurrent numbers emerge from
+// request overlap inside the ring/daemon and from cache hits replacing the
+// loop-device traversal.
+//
+// Three views:
+//   1. streams x {single-flight, concurrent} on the remote re-read config
+//      (per-stream and aggregate MBps) — the acceptance table;
+//   2. workers x outstanding sweep at 4 streams (co-located re-read);
+//   3. pread fan-out parallelism on a multi-block positional read.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+
+namespace vread::bench {
+namespace {
+
+constexpr std::uint64_t kFileBytes = 32ULL * 1024 * 1024;
+constexpr std::uint64_t kSeed = 4242;
+constexpr std::uint64_t kReqBytes = 64 * 1024;
+
+struct StackConfig {
+  std::size_t workers = 1;
+  std::size_t outstanding = 1;
+  std::uint64_t cache_bytes = 0;
+  std::size_t pread_par = 1;
+};
+
+StackConfig single_flight() { return StackConfig{1, 1, 0, 1}; }
+StackConfig concurrent() { return StackConfig{4, 8, 64ULL << 20, 4}; }
+
+// One reader stream: sequential 64 KB preads over its slice of the file,
+// verifying content (free function: spawned coroutines must not be lambdas).
+sim::Task reader(hdfs::DfsClient& client, std::uint64_t begin, std::uint64_t end,
+                 std::uint64_t req, bool* ok, sim::Latch* done) {
+  std::unique_ptr<hdfs::DfsInputStream> in;
+  co_await client.open("/data", in);
+  for (std::uint64_t pos = begin; pos < end; pos += req) {
+    const std::uint64_t n = std::min(req, end - pos);
+    mem::Buffer b;
+    co_await in->pread(pos, n, b);
+    if (b.size() != n ||
+        b.checksum() != mem::Buffer::deterministic(kSeed, pos, n).checksum()) {
+      *ok = false;
+    }
+  }
+  co_await in->close();
+  done->count_down();
+}
+
+sim::Task run_streams(Cluster& c, std::size_t streams, std::uint64_t req, bool* ok) {
+  sim::Latch done(c.sim(), streams);
+  const std::uint64_t slice = kFileBytes / streams;
+  for (std::size_t i = 0; i < streams; ++i) {
+    c.sim().spawn(reader(*c.client("client"), i * slice, (i + 1) * slice, req, ok,
+                         &done));
+  }
+  co_await done.wait();
+}
+
+struct StreamResult {
+  double aggregate_mbps = 0.0;
+  double per_stream_mbps = 0.0;
+  bool ok = true;
+};
+
+// Builds the topology, installs the given stack, warms the file (one full
+// sequential read: page caches + block cache), then times N streams.
+StreamResult run_config(Scenario scenario, std::size_t streams, const StackConfig& k,
+                        std::uint64_t block_size = 32ULL * 1024 * 1024,
+                        std::uint64_t req = kReqBytes) {
+  PaperSetup s = make_paper_setup(2.0, false, false, scenario, kFileBytes, kSeed,
+                                  core::VReadDaemon::Transport::kRdma, block_size);
+  Cluster& c = *s.cluster;
+  core::DaemonConfig dc;
+  dc.workers = k.workers;
+  dc.shm_max_outstanding = k.outstanding;
+  dc.cache_bytes = k.cache_bytes;
+  c.enable_vread(dc);
+  c.client("client")->set_pread_parallelism(k.pread_par);
+  c.drop_all_caches();
+  run_dfsio_read(c);  // warm-up pass: re-read/cache-hit steady state
+
+  StreamResult r;
+  const sim::SimTime t0 = c.sim().now();
+  c.run_job(run_streams(c, streams, req, &r.ok));
+  const double secs = sim::to_seconds(c.sim().now() - t0);
+  r.aggregate_mbps = static_cast<double>(kFileBytes) / 1e6 / secs;
+  r.per_stream_mbps = r.aggregate_mbps / static_cast<double>(streams);
+  return r;
+}
+
+}  // namespace
+}  // namespace vread::bench
+
+int main(int argc, char** argv) {
+  using namespace vread::bench;
+  vread::metrics::print_banner(
+      "Ablation: concurrent shortcut path",
+      "streams x workers x outstanding, single-flight vs concurrent stack");
+  BenchReport report("ablation_concurrency");
+  report.param("freq_ghz", 2.0)
+      .param("file_bytes", kFileBytes)
+      .param("request_bytes", kReqBytes);
+
+  bool all_ok = true;
+  double agg_single4 = 0.0, agg_conc4 = 0.0;
+  {
+    std::cout << "remote re-read, 64 KB positional requests:\n";
+    vread::metrics::TablePrinter t({"streams", "stack", "per-stream (MBps)",
+                                    "aggregate (MBps)"});
+    for (std::size_t streams : {1UL, 2UL, 4UL}) {
+      for (bool conc : {false, true}) {
+        const StackConfig k = conc ? concurrent() : single_flight();
+        StreamResult r = run_config(Scenario::kRemote, streams, k);
+        all_ok = all_ok && r.ok;
+        const std::string stack = conc ? "concurrent" : "single-flight";
+        t.add_row({std::to_string(streams), stack,
+                   vread::metrics::Cell(r.per_stream_mbps),
+                   vread::metrics::Cell(r.aggregate_mbps)});
+        report.metric("aggregate_mbps_" + std::to_string(streams) + "streams_" +
+                          (conc ? "concurrent" : "singleflight"),
+                      r.aggregate_mbps, "MBps", "higher");
+        if (streams == 4 && conc) agg_conc4 = r.aggregate_mbps;
+        if (streams == 4 && !conc) agg_single4 = r.aggregate_mbps;
+      }
+    }
+    t.print();
+    const double speedup = agg_single4 > 0 ? agg_conc4 / agg_single4 : 0.0;
+    std::cout << "4-stream aggregate speedup (concurrent / single-flight): "
+              << vread::metrics::fmt(speedup, 2) << "x\n\n";
+    report.metric("speedup_4streams_vs_singleflight", speedup, "x", "higher");
+  }
+  {
+    std::cout << "worker pool x outstanding (co-located re-read, 4 streams, "
+                 "cache on):\n";
+    vread::metrics::TablePrinter t({"workers", "outstanding", "aggregate (MBps)"});
+    for (std::size_t workers : {1UL, 2UL, 4UL}) {
+      for (std::size_t outstanding : {1UL, 8UL}) {
+        StackConfig k = concurrent();
+        k.workers = workers;
+        k.outstanding = outstanding;
+        StreamResult r = run_config(Scenario::kColocated, 4, k);
+        all_ok = all_ok && r.ok;
+        t.add_row({std::to_string(workers), std::to_string(outstanding),
+                   vread::metrics::Cell(r.aggregate_mbps)});
+        report.metric("aggregate_mbps_4streams_w" + std::to_string(workers) + "_o" +
+                          std::to_string(outstanding),
+                      r.aggregate_mbps, "MBps", "higher");
+      }
+    }
+    t.print();
+    std::cout << "\n";
+  }
+  {
+    std::cout << "client pread fan-out (1 stream, 16 MB positional reads over "
+                 "4 MB blocks, remote):\n";
+    vread::metrics::TablePrinter t({"pread parallelism", "throughput (MBps)"});
+    for (std::size_t par : {1UL, 4UL}) {
+      StackConfig k = concurrent();
+      k.pread_par = par;
+      StreamResult r = run_config(Scenario::kRemote, 1, k, /*block_size=*/4ULL << 20,
+                                  /*req=*/16ULL << 20);
+      all_ok = all_ok && r.ok;
+      t.add_row({std::to_string(par), vread::metrics::Cell(r.aggregate_mbps)});
+      report.metric("fanout_mbps_par" + std::to_string(par), r.aggregate_mbps, "MBps",
+                    "higher");
+    }
+    t.print();
+  }
+
+  std::cout << (all_ok ? "\ncontent verified on every stream\n"
+                       : "\nCONTENT MISMATCH\n");
+  std::cout << "Expected shape: the single-flight stack flat-lines as streams\n"
+               "queue on the one-outstanding channel; the concurrent stack keeps\n"
+               "the vCPU, ring and daemon busy simultaneously and re-reads hit\n"
+               "the shared block cache.\n";
+  report.maybe_write(argc, argv);
+  return all_ok ? 0 : 1;
+}

@@ -62,6 +62,57 @@ void BM_MailboxPingPong(benchmark::State& state) {
 }
 BENCHMARK(BM_MailboxPingPong);
 
+sim::Task pool_worker(sim::Mailbox<int>& jobs, sim::Latch& done, int n) {
+  for (int i = 0; i < n; ++i) {
+    int v = co_await jobs.recv();
+    benchmark::DoNotOptimize(v);
+    done.count_down();
+  }
+}
+
+// The daemon worker pool is N receivers parked on one mailbox; this
+// measures the multi-waiter dispatch path (send -> FIFO waiter handoff).
+void BM_MailboxMultiWaiter(benchmark::State& state) {
+  const int kWorkers = 4;
+  const int kJobs = 1000;  // divisible by kWorkers: every worker terminates
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::Mailbox<int> jobs(sim);
+    sim::Latch done(sim, kJobs);
+    for (int w = 0; w < kWorkers; ++w) {
+      sim.spawn(pool_worker(jobs, done, kJobs / kWorkers));
+    }
+    for (int i = 0; i < kJobs; ++i) jobs.send(i);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kJobs);
+}
+BENCHMARK(BM_MailboxMultiWaiter);
+
+sim::Task sem_contender(sim::Semaphore& sem, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await sem.acquire();
+    sem.release();
+  }
+}
+
+// The multi-outstanding shm ring bounds in-flight requests with a FIFO
+// semaphore; this measures acquire/release under heavy waiter queues.
+void BM_SemaphoreContention(benchmark::State& state) {
+  const int kContenders = 8;
+  const int kRounds = 500;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::Semaphore sem(sim, 2);
+    for (int t = 0; t < kContenders; ++t) {
+      sim.spawn(sem_contender(sem, kRounds));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kContenders * kRounds);
+}
+BENCHMARK(BM_SemaphoreContention);
+
 sim::Task burn_loop(hw::CpuScheduler& cpu, hw::ThreadId tid, int n) {
   for (int i = 0; i < n; ++i) {
     co_await cpu.consume(tid, 100'000, hw::CycleCategory::kOther);

@@ -159,6 +159,7 @@ void Cluster::drop_all_caches() {
     h->page_cache().clear();
     for (auto& vm : h->vms()) vm->drop_caches();
   }
+  for (auto& [name, d] : daemons_) d->cache().clear();
 }
 
 hdfs::DataNode* Cluster::datanode(const std::string& id) {

@@ -1,0 +1,106 @@
+#include "core/block_cache.h"
+
+namespace vread::core {
+
+BlockCache::BlockCache(std::uint64_t capacity_bytes, const std::string& host)
+    : capacity_(capacity_bytes),
+      hits_(metrics_.counter("vread_daemon_cache_hits_total", {{"host", host}},
+                             "Block-cache lookups served from a cached entry")),
+      misses_(metrics_.counter("vread_daemon_cache_misses_total", {{"host", host}},
+                               "Block-cache lookups that fell through to the mount")),
+      evictions_(metrics_.counter("vread_daemon_cache_evictions_total", {{"host", host}},
+                                  "Entries evicted to make room (LRU)")),
+      invalidations_(metrics_.counter("vread_daemon_cache_invalidations_total",
+                                      {{"host", host}},
+                                      "Entries dropped by vRead_update/remount")),
+      integrity_failures_(metrics_.counter("vread_daemon_cache_integrity_failures_total",
+                                           {{"host", host}},
+                                           "Hits failing checksum verification")),
+      bytes_g_(metrics_.gauge("vread_daemon_cache_bytes", {{"host", host}},
+                              "Payload bytes currently cached")) {}
+
+mem::Buffer BlockCache::lookup(const std::string& dn, const std::string& block,
+                               std::uint64_t offset, std::uint64_t len) {
+  if (!enabled() || len == 0) {
+    misses_.inc();
+    return mem::Buffer();
+  }
+  // The covering entry, if any, is the last one starting at or before
+  // `offset` for this (dn, block).
+  auto it = entries_.upper_bound(Key{dn, block, offset});
+  if (it == entries_.begin()) {
+    misses_.inc();
+    return mem::Buffer();
+  }
+  --it;
+  const Key& k = it->first;
+  Entry& e = it->second;
+  if (k.dn != dn || k.block != block || k.offset > offset ||
+      offset + len > k.offset + e.data.size()) {
+    misses_.inc();
+    return mem::Buffer();
+  }
+  if (e.data.checksum() != e.checksum) {
+    // Integrity check failed: drop the entry and report a miss — a cache
+    // hit must never return bytes the mount would not have.
+    integrity_failures_.inc();
+    erase(it);
+    misses_.inc();
+    return mem::Buffer();
+  }
+  lru_.splice(lru_.end(), lru_, e.lru);  // bump to MRU
+  hits_.inc();
+  return e.data.slice(offset - k.offset, len);
+}
+
+void BlockCache::insert(const std::string& dn, const std::string& block,
+                        std::uint64_t offset, const mem::Buffer& data) {
+  if (!enabled() || data.empty() || data.size() > capacity_) return;
+  const Key key{dn, block, offset};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Same chop point re-read (write-once blocks: contents are identical);
+    // just refresh recency.
+    lru_.splice(lru_.end(), lru_, it->second.lru);
+    return;
+  }
+  evict_to_fit(data.size());
+  Entry e;
+  e.data = data;
+  e.checksum = data.checksum();
+  e.lru = lru_.insert(lru_.end(), key);
+  bytes_ += data.size();
+  entries_.emplace(key, std::move(e));
+  bytes_g_.set(static_cast<std::int64_t>(bytes_));
+}
+
+void BlockCache::invalidate_datanode(const std::string& dn) {
+  auto it = entries_.lower_bound(Key{dn, "", 0});
+  while (it != entries_.end() && it->first.dn == dn) {
+    invalidations_.inc();
+    erase(it++);
+  }
+}
+
+void BlockCache::clear() {
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  bytes_g_.set(0);
+}
+
+void BlockCache::erase(std::map<Key, Entry>::iterator it) {
+  bytes_ -= it->second.data.size();
+  lru_.erase(it->second.lru);
+  entries_.erase(it);
+  bytes_g_.set(static_cast<std::int64_t>(bytes_));
+}
+
+void BlockCache::evict_to_fit(std::uint64_t incoming) {
+  while (bytes_ + incoming > capacity_ && !lru_.empty()) {
+    evictions_.inc();
+    erase(entries_.find(lru_.front()));
+  }
+}
+
+}  // namespace vread::core

@@ -21,6 +21,7 @@ constexpr std::uint64_t kCtrlBytes = 96;
 VReadDaemon::VReadDaemon(virt::Host& host, DaemonConfig config)
     : host_(host),
       config_(config),
+      cache_(config.cache_bytes, host.name()),
       control_(std::make_unique<hw::WorkerThread>(host.sim(), host.cpu(),
                                                   "vread-ctl", host.name())),
       opens_(metrics_.counter("vread_daemon_opens_total", {{"host", host.name()}},
@@ -78,10 +79,19 @@ DaemonStats VReadDaemon::stats_snapshot() const {
   s.refresh_failures = refresh_failures_.value();
   s.mount_lookup_hits = mount_lookup_hits_.value();
   s.mount_lookup_misses = mount_lookup_misses_.value();
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.cache_evictions = cache_.evictions();
   s.open_descriptors = descriptors_.size();
   s.local_mounts = local_mounts_.size();
   s.remote_peers = remote_peers_.size();
   s.clients = clients_.size();
+  s.cache_bytes = cache_.bytes();
+  s.cache_capacity = cache_.capacity();
+  for (const auto& port : clients_) {
+    s.shm_inflight += port->channel->inflight();
+    s.shm_inflight_high += port->channel->inflight_high();
+  }
   s.read_latency = read_latency_;
   for (const auto& [key, c] : peer_bytes_) {
     s.peers.push_back(DaemonStats::PeerTraffic{
@@ -119,6 +129,7 @@ void VReadDaemon::register_remote_datanode(const std::string& dn_id, VReadDaemon
 void VReadDaemon::unregister_datanode(const std::string& dn_id) {
   local_mounts_.erase(dn_id);
   remote_peers_.erase(dn_id);
+  cache_.invalidate_datanode(dn_id);
 }
 
 void VReadDaemon::migrate_datanode(const std::string& dn_id, VReadDaemon& from,
@@ -130,6 +141,7 @@ void VReadDaemon::migrate_datanode(const std::string& dn_id, VReadDaemon& from,
   // follow the updated registry.
   from.local_mounts_.erase(dn_id);
   from.remote_peers_[dn_id] = &to;
+  from.cache_.invalidate_datanode(dn_id);
   to.remote_peers_.erase(dn_id);
   to.register_local_datanode(dn_id, std::move(image));
 }
@@ -149,10 +161,18 @@ void VReadDaemon::subscribe(hdfs::NameNode& nn) {
 virt::ShmChannel& VReadDaemon::attach_client(virt::Vm& client_vm) {
   auto port = std::make_unique<ClientPort>();
   port->channel = std::make_unique<virt::ShmChannel>(client_vm, host_.costs(),
-                                                     config_.shm_call_timeout);
-  port->tid = host_.cpu().add_thread("vread-daemon-" + client_vm.name(), host_.name());
+                                                     config_.shm_call_timeout,
+                                                     config_.shm_max_outstanding);
+  const std::size_t workers = config_.workers == 0 ? 1 : config_.workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    std::string name = "vread-daemon-" + client_vm.name();
+    if (w > 0) name += "-w" + std::to_string(w + 1);
+    port->tids.push_back(host_.cpu().add_thread(name, host_.name()));
+  }
   clients_.push_back(std::move(port));
-  host_.sim().spawn(serve(*clients_.back()));
+  for (hw::ThreadId tid : clients_.back()->tids) {
+    host_.sim().spawn(serve(*clients_.back(), tid));
+  }
   return *clients_.back()->channel;
 }
 
@@ -169,22 +189,22 @@ VReadDaemon::Transport VReadDaemon::effective_transport(hw::ThreadId tid, trace:
   return config_.transport;
 }
 
-sim::Task VReadDaemon::serve(ClientPort& port) {
+sim::Task VReadDaemon::serve(ClientPort& port, hw::ThreadId tid) {
   const hw::CostModel& cm = host_.costs();
   for (;;) {
     ShmRequest req = co_await port.channel->requests().recv();
     // eventfd wakeup on the daemon side.
-    co_await host_.cpu().consume(port.tid, cm.doorbell_host, CycleCategory::kInterrupt,
+    co_await host_.cpu().consume(tid, cm.doorbell_host, CycleCategory::kInterrupt,
                                  req.ctx);
     // Injected daemon crash: the process dies and is supervised back up
     // before this request is picked off the ring. All descriptor state is
     // gone; reads on pre-crash vfds answer BAD_FD below.
     if (fault::registry().should_fire(fault::points::kDaemonCrash)) restart();
-    co_await handle(port, std::move(req));
+    co_await handle(port, tid, std::move(req));
   }
 }
 
-sim::Task VReadDaemon::handle(ClientPort& port, ShmRequest req) {
+sim::Task VReadDaemon::handle(ClientPort& port, hw::ThreadId tid, ShmRequest req) {
   ShmResponse resp;
   resp.id = req.id;
   const trace::Ctx ctx = req.ctx;
@@ -194,11 +214,11 @@ sim::Task VReadDaemon::handle(ClientPort& port, ShmRequest req) {
       std::uint64_t vfd = 0;
       Status status(StatusCode::kNoDatanode, req.datanode_id);
       if (local_mounts_.count(req.datanode_id) != 0) {
-        co_await local_open(port.tid, req.datanode_id, req.block_name, vfd, status, ctx);
+        co_await local_open(tid, req.datanode_id, req.block_name, vfd, status, ctx);
       } else if (auto it = remote_peers_.find(req.datanode_id);
                  it != remote_peers_.end()) {
         std::uint64_t peer_vfd = 0;
-        co_await remote_open(port.tid, it->second, req.datanode_id, req.block_name,
+        co_await remote_open(tid, it->second, req.datanode_id, req.block_name,
                              peer_vfd, status, ctx);
         if (status.ok()) {
           vfd = next_vfd_++;
@@ -230,9 +250,9 @@ sim::Task VReadDaemon::handle(ClientPort& port, ShmRequest req) {
       DescriptorPtr d = it->second;
       const sim::SimTime t0 = host_.sim().now();
       if (d->remote) {
-        co_await stream_remote_read(port, req, *d);
+        co_await stream_remote_read(port, tid, req, *d);
       } else {
-        co_await stream_local_read(port, req, *d);
+        co_await stream_local_read(port, tid, req, *d);
       }
       read_latency_.observe(static_cast<std::uint64_t>(host_.sim().now() - t0));
       co_return;  // responses already streamed into the ring
@@ -260,7 +280,7 @@ sim::Task VReadDaemon::handle(ClientPort& port, ShmRequest req) {
     }
     case VReadOp::kUpdate: {
       if (local_mounts_.count(req.datanode_id) != 0) {
-        co_await local_refresh(port.tid, req.datanode_id);
+        co_await local_refresh(tid, req.datanode_id);
       } else if (auto it = remote_peers_.find(req.datanode_id);
                  it != remote_peers_.end()) {
         VReadDaemon* peer = it->second;
@@ -278,7 +298,7 @@ sim::Task VReadDaemon::handle(ClientPort& port, ShmRequest req) {
       break;
     }
   }
-  co_await port.channel->respond(port.tid, std::move(resp), /*charge_copy=*/true, ctx);
+  co_await port.channel->respond(tid, std::move(resp), /*charge_copy=*/true, ctx);
 }
 
 sim::Task VReadDaemon::local_open(hw::ThreadId tid, const std::string& dn_id,
@@ -352,7 +372,18 @@ sim::Task VReadDaemon::ensure_resident(hw::ThreadId tid, Descriptor& d,
   const hw::CostModel& cm = host_.costs();
   auto& tr = trace::tracer();
   const std::uint64_t key = cache_key(*d.mount->image(), d.inode.id);
-  if (!d.ra) d.ra = std::make_shared<RaState>(host_.sim());
+  if (!d.ra) {
+    // Readahead state is shared by every descriptor of this file, so
+    // concurrent streams coalesce on one in-flight fill (each waits for
+    // the window another stream is already reading) instead of fetching
+    // the same bytes from the device once per descriptor.
+    std::weak_ptr<RaState>& slot = ra_states_[key];
+    d.ra = slot.lock();
+    if (!d.ra) {
+      d.ra = std::make_shared<RaState>(host_.sim());
+      slot = d.ra;
+    }
+  }
   RaState& ra = *d.ra;
   const std::uint64_t end = offset + n;
   const bool sequential = offset == d.seq_pos || end <= ra.done;
@@ -368,9 +399,12 @@ sim::Task VReadDaemon::ensure_resident(hw::ThreadId tid, Descriptor& d,
       co_await ra.event.wait();
     }
     if (end > ra.done) {
-      // Synchronous fill of request + readahead window.
+      // Synchronous fill of request + readahead window. Published as
+      // in-flight so a concurrent stream needing these bytes waits for
+      // this fill instead of issuing a duplicate disk read.
       const std::uint64_t window_end =
           std::min(d.inode.size, offset + std::max(n, kReadahead));
+      ra.inflight_end = std::max(ra.inflight_end, window_end);
       const std::uint64_t missing =
           host_.page_cache().miss_bytes(key, offset, window_end - offset);
       if (missing > 0) {
@@ -383,6 +417,7 @@ sim::Task VReadDaemon::ensure_resident(hw::ThreadId tid, Descriptor& d,
       }
       host_.page_cache().fill(key, offset, window_end - offset);
       ra.done = std::max(ra.done, window_end);
+      ra.event.set();
     }
     // Kick the next async window when we are close to the edge.
     if (ra.done < d.inode.size && ra.done - end < kReadahead / 2 &&
@@ -420,6 +455,25 @@ sim::Task VReadDaemon::local_read(hw::ThreadId tid, Descriptor& d, std::uint64_t
   }
   const std::uint64_t n = std::min(len, d.inode.size - offset);
 
+  if (!config_.direct_read && cache_.enabled()) {
+    // Shared block cache (DESIGN.md §10). The lookup charge is paid hit or
+    // miss; a hit skips the loop-device traversal and the mount read and
+    // serves the ring copy straight from the cached buffer, so the only
+    // remaining copies are the two standing ring copies.
+    co_await host_.cpu().consume(
+        tid, cm.daemon_cache_lookup + cm.daemon_cache_per_page * cm.pages(n),
+        CycleCategory::kLoopDevice, ctx);
+    mem::Buffer hit = cache_.lookup(d.dn_id, d.block_name, offset, n);
+    if (!hit.empty()) {
+      out = std::move(hit);
+      d.seq_pos = offset + n;
+      status = Status::Ok();
+      reads_.inc();
+      bytes_read_.inc(out.size());
+      co_return;
+    }
+  }
+
   if (config_.direct_read) {
     // §6 alternative: raw image access. Per-page address translation, and
     // no host page cache — every byte comes off the device.
@@ -442,6 +496,7 @@ sim::Task VReadDaemon::local_read(hw::ThreadId tid, Descriptor& d, std::uint64_t
                                  CycleCategory::kLoopDevice, ctx);
   }
   out = d.mount->read(d.inode, offset, n);
+  if (!config_.direct_read) cache_.insert(d.dn_id, d.block_name, offset, out);
   status = Status::Ok();
   reads_.inc();
   bytes_read_.inc(out.size());
@@ -452,6 +507,9 @@ sim::Task VReadDaemon::local_refresh(hw::ThreadId tid, const std::string& dn_id)
   auto it = local_mounts_.find(dn_id);
   if (it == local_mounts_.end()) co_return;
   co_await host_.cpu().consume(tid, cm.mount_refresh, CycleCategory::kLoopDevice);
+  // A refresh means the namespace changed (vRead_update / remount): drop
+  // cached ranges for this datanode so new snapshots are never served stale.
+  cache_.invalidate_datanode(dn_id);
   const bool was_stale = it->second.mount->stale();
   it->second.mount->refresh();
   if (was_stale && it->second.mount->stale()) {
@@ -538,12 +596,12 @@ sim::Task VReadDaemon::remote_open(hw::ThreadId tid, VReadDaemon* peer,
   }
 }
 
-sim::Task VReadDaemon::stream_local_read(ClientPort& port, const virt::ShmRequest& req,
-                                         Descriptor& d) {
+sim::Task VReadDaemon::stream_local_read(ClientPort& port, hw::ThreadId tid,
+                                         const virt::ShmRequest& req, Descriptor& d) {
   const trace::Ctx ctx = req.ctx;
   if (req.offset >= d.inode.size) {
     // Snapshot shorter than the reader expects: fall back to vanilla.
-    co_await port.channel->respond_part(port.tid, req.id, kVReadErrRange, req.vfd,
+    co_await port.channel->respond_part(tid, req.id, kVReadErrRange, req.vfd,
                                         mem::Buffer(), /*last=*/true,
                                         /*charge_copy=*/true, ctx);
     co_return;
@@ -554,11 +612,11 @@ sim::Task VReadDaemon::stream_local_read(ClientPort& port, const virt::ShmReques
     const std::uint64_t n = std::min(kStreamChunk, end - off);
     mem::Buffer buf;
     Status status;
-    co_await local_read(port.tid, d, off, n, buf, status, ctx);
+    co_await local_read(tid, d, off, n, buf, status, ctx);
     const std::int64_t wire =
         status.ok() ? static_cast<std::int64_t>(buf.size()) : status.to_wire();
     const bool last = off + n >= end;
-    co_await port.channel->respond_part(port.tid, req.id, wire, req.vfd,
+    co_await port.channel->respond_part(tid, req.id, wire, req.vfd,
                                         std::move(buf), last, /*charge_copy=*/true, ctx);
     off += n;
   }
@@ -588,20 +646,20 @@ sim::Task remote_wire_hop(sim::Simulation* sim, hw::Lan* lan, hw::HostId src,
 }
 }  // namespace
 
-sim::Task VReadDaemon::stream_remote_read(ClientPort& port, const virt::ShmRequest& req,
-                                          Descriptor& d) {
+sim::Task VReadDaemon::stream_remote_read(ClientPort& port, hw::ThreadId tid,
+                                          const virt::ShmRequest& req, Descriptor& d) {
   const hw::CostModel& cm = host_.costs();
   const trace::Ctx ctx = req.ctx;
   VReadDaemon* peer = d.peer;
   const std::uint64_t peer_vfd = d.peer_vfd;
-  const Transport transport = effective_transport(port.tid, ctx);
+  const Transport transport = effective_transport(tid, ctx);
   const char* wire_name = transport == Transport::kRdma ? "rdma-wire" : "vread-net-wire";
 
   // Request out: one WR / one user-space TCP message.
   if (transport == Transport::kRdma) {
-    co_await host_.cpu().consume(port.tid, cm.rdma_post_wr, CycleCategory::kRdma, ctx);
+    co_await host_.cpu().consume(tid, cm.rdma_post_wr, CycleCategory::kRdma, ctx);
   } else {
-    co_await host_.cpu().consume(port.tid, cm.vreadnet_per_segment,
+    co_await host_.cpu().consume(tid, cm.vreadnet_per_segment,
                                  CycleCategory::kVreadNet, ctx);
   }
   co_await host_.lan().transfer(host_.lan_id(), kCtrlBytes);
@@ -609,7 +667,7 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, const virt::ShmReque
   if (fault::registry().should_fire(fault::points::kPeerDown)) {
     // Peer unreachable mid-stream: report it so the guest library can
     // retry (bounded) and ultimately degrade to the vanilla socket path.
-    co_await port.channel->respond_part(port.tid, req.id, kVReadErrPeerDown, req.vfd,
+    co_await port.channel->respond_part(tid, req.id, kVReadErrPeerDown, req.vfd,
                                         mem::Buffer(), /*last=*/true,
                                         /*charge_copy=*/true, ctx);
     co_return;
@@ -682,7 +740,7 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, const virt::ShmReque
   for (;;) {
     RemoteChunk chunk = co_await arrivals.recv();
     if (chunk.status < 0) {
-      co_await port.channel->respond_part(port.tid, req.id, chunk.status, req.vfd,
+      co_await port.channel->respond_part(tid, req.id, chunk.status, req.vfd,
                                           mem::Buffer(), /*last=*/true,
                                           /*charge_copy=*/true, ctx);
       co_return;
@@ -692,20 +750,20 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, const virt::ShmReque
     bool zero_copy = false;
     if (transport == Transport::kRdma) {
       // One CQE; the payload already sits in the registered ring memory.
-      co_await host_.cpu().consume(port.tid, cm.rdma_cqe, CycleCategory::kRdma, ctx);
+      co_await host_.cpu().consume(tid, cm.rdma_cqe, CycleCategory::kRdma, ctx);
       zero_copy = true;
     } else {
       // Receive-side copy out of the user-space TCP stream.
       const trace::SpanId sp = tr.begin(ctx, trace::SpanKind::kCopy,
                                         "copy vread-net-rx",
-                                        static_cast<int>(port.tid));
+                                        static_cast<int>(tid));
       co_await host_.cpu().consume(
-          port.tid, cm.vreadnet_per_segment * cm.segments(n) + cm.copy_cost(n),
+          tid, cm.vreadnet_per_segment * cm.segments(n) + cm.copy_cost(n),
           CycleCategory::kVreadNet, ctx);
       tr.end(sp, n);
     }
     const bool last = chunk.last;
-    co_await port.channel->respond_part(port.tid, req.id, chunk.status, req.vfd,
+    co_await port.channel->respond_part(tid, req.id, chunk.status, req.vfd,
                                         std::move(chunk.data), last, !zero_copy, ctx);
     if (last) break;
   }

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "core/block_cache.h"
 #include "fault/status.h"
 #include "fs/loop_mount.h"
 #include "hdfs/namenode.h"
@@ -72,11 +73,21 @@ struct DaemonStats {
   std::uint64_t refresh_failures = 0;
   std::uint64_t mount_lookup_hits = 0;
   std::uint64_t mount_lookup_misses = 0;
+  // Shared block cache (§10).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
   // Levels (instantaneous).
   std::size_t open_descriptors = 0;
   std::size_t local_mounts = 0;
   std::size_t remote_peers = 0;
   std::size_t clients = 0;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t cache_capacity = 0;
+  // Shm-channel pipeline depth, summed over this daemon's client channels:
+  // requests currently in flight, and the deepest it ever got.
+  std::uint64_t shm_inflight = 0;
+  std::int64_t shm_inflight_high = 0;
   // Distribution of kRead service time (request dequeue -> response
   // streamed), as a copy safe to hold after the daemon dies.
   metrics::Histogram read_latency;
@@ -109,6 +120,21 @@ struct DaemonConfig {
   // How long an attached client's guest library waits on the shm ring
   // before declaring a request lost (applied to channels at attach time).
   sim::SimTime shm_call_timeout = sim::ms(5);
+
+  // Per-client-VM worker pool size: N daemon threads drain each channel's
+  // request mailbox (FIFO dispatch), so one VM's requests overlap inside
+  // the daemon. 1 reproduces the original single-worker layout.
+  std::size_t workers = 1;
+
+  // Concurrent in-flight requests per shm channel (request-id demux in
+  // ShmChannel); extra guest callers queue FIFO. Applied at attach time.
+  std::size_t shm_max_outstanding = 8;
+
+  // Shared block cache capacity in bytes ((datanode, block)-keyed LRU,
+  // DESIGN.md §10); 0 disables the cache. Direct-read mode bypasses it
+  // regardless — that mode's contract is that every byte comes off the
+  // device.
+  std::uint64_t cache_bytes = 64ULL << 20;
 };
 
 class VReadDaemon {
@@ -186,6 +212,11 @@ class VReadDaemon {
   std::uint64_t rdma_failovers() const { return rdma_failovers_.value(); }
   std::uint64_t refresh_failures() const { return refresh_failures_.value(); }
 
+  // Shared block cache (survives restart(): entries are content-keyed and
+  // blocks are write-once, so a crash loses descriptors, not cached bytes).
+  BlockCache& cache() { return cache_; }
+  const BlockCache& cache() const { return cache_; }
+
   DaemonStats stats_snapshot() const;
 
  private:
@@ -221,19 +252,23 @@ class VReadDaemon {
 
   struct ClientPort {
     std::unique_ptr<virt::ShmChannel> channel;
-    hw::ThreadId tid;  // the per-VM daemon thread serving this channel
+    // The per-VM daemon worker threads serving this channel (the paper's
+    // per-VM worker, times DaemonConfig::workers).
+    std::vector<hw::ThreadId> tids;
   };
 
-  // Per-VM worker loop: drains the channel's request mailbox.
-  sim::Task serve(ClientPort& port);
-  sim::Task handle(ClientPort& port, virt::ShmRequest req);
+  // Per-VM worker loop: drains the channel's request mailbox. With
+  // `workers > 1` several loops share one mailbox; its FIFO multi-waiter
+  // semantics dispatch each request to exactly one idle worker.
+  sim::Task serve(ClientPort& port, hw::ThreadId tid);
+  sim::Task handle(ClientPort& port, hw::ThreadId tid, virt::ShmRequest req);
 
   // Streams a block-read response into the client's ring in packet-sized
   // pieces so the disk, the ring and the guest's copy-out pipeline.
-  sim::Task stream_local_read(ClientPort& port, const virt::ShmRequest& req,
-                              Descriptor& d);
-  sim::Task stream_remote_read(ClientPort& port, const virt::ShmRequest& req,
-                               Descriptor& d);
+  sim::Task stream_local_read(ClientPort& port, hw::ThreadId tid,
+                              const virt::ShmRequest& req, Descriptor& d);
+  sim::Task stream_remote_read(ClientPort& port, hw::ThreadId tid,
+                               const virt::ShmRequest& req, Descriptor& d);
 
   // --- local operations (run on `tid`, a daemon-side thread) ---
   sim::Task local_open(hw::ThreadId tid, const std::string& dn_id,
@@ -273,6 +308,10 @@ class VReadDaemon {
 
   virt::Host& host_;
   DaemonConfig config_;
+  // Shared block cache ((datanode, block)-keyed LRU; §10). Lives on the
+  // daemon so every client VM's streams — and remote peers reading through
+  // this daemon — share one copy of each hot range.
+  BlockCache cache_;
   struct LocalMount {
     std::shared_ptr<fs::LoopMount> mount;
     std::string dir;  // where this store keeps its block/chunk files
@@ -284,6 +323,10 @@ class VReadDaemon {
   std::unique_ptr<hw::WorkerThread> control_;
   std::map<std::uint64_t, DescriptorPtr> descriptors_;
   std::uint64_t next_vfd_ = 1;
+  // Readahead state shared by every descriptor of the same underlying
+  // file (keyed like the host page cache), so concurrent streams coalesce
+  // on one in-flight disk fill instead of each fetching the same bytes.
+  std::map<std::uint64_t, std::weak_ptr<RaState>> ra_states_;
 
   // Per-peer transfer counter, created lazily on the first byte streamed
   // from that peer (labels: host, peer, transport).

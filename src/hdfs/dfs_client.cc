@@ -227,23 +227,67 @@ sim::Task DfsInputStream::read(std::uint64_t len, mem::Buffer& out) {
 sim::Task DfsInputStream::pread(std::uint64_t position, std::uint64_t len,
                                 mem::Buffer& out) {
   // Algorithm 2: collect the blocks overlapping the range, then read them
-  // one by one (vRead descriptor if available, fetchBlocks otherwise).
+  // (vRead descriptor if available, fetchBlocks otherwise). Reads of
+  // distinct blocks are independent, so with pread_parallelism > 1 they
+  // are issued concurrently and reassembled in block order.
   out = mem::Buffer();
   co_await client_.nn_.rpc_from(client_.vm());
   std::vector<BlockInfo> range =
       client_.nn_.get_block_locations(path_, position, len);
+  struct Part {
+    BlockInfo blk;
+    std::uint64_t off;
+    std::uint64_t n;
+  };
+  std::vector<Part> parts;
   std::uint64_t remaining = len;
   std::uint64_t pos = position;
   for (const BlockInfo& blk : range) {
     if (remaining == 0) break;
     const std::uint64_t start = pos - blk.offset_in_file;
     const std::uint64_t bytes_to_read = std::min(remaining, blk.size - start);
-    mem::Buffer part;
-    co_await read_block_range(blk, start, bytes_to_read, part, /*sequential=*/false);
-    out.append(part);
+    parts.push_back(Part{blk, start, bytes_to_read});
     remaining -= bytes_to_read;
     pos += bytes_to_read;
   }
+
+  if (parts.size() <= 1 || client_.pread_parallelism_ <= 1) {
+    for (const Part& p : parts) {
+      mem::Buffer part;
+      co_await read_block_range(p.blk, p.off, p.n, part, /*sequential=*/false);
+      out.append(part);
+    }
+    co_return;
+  }
+
+  // Fan-out: bounded by the gate, joined by the latch, results landing in
+  // per-part buffers so reassembly is in order regardless of completion
+  // order. Spawn order is deterministic and so are all wakeups (FIFO).
+  sim::Simulation& sim = client_.vm().host().sim();
+  std::vector<mem::Buffer> bufs(parts.size());
+  std::exception_ptr err;
+  sim::Semaphore gate(sim, client_.pread_parallelism_);
+  sim::Latch latch(sim, parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    co_await gate.acquire();
+    sim.spawn(pread_part(parts[i].blk, parts[i].off, parts[i].n, &bufs[i], &err, &gate,
+                         &latch));
+  }
+  co_await latch.wait();
+  if (err) std::rethrow_exception(err);
+  for (mem::Buffer& b : bufs) out.append(b);
+}
+
+sim::Task DfsInputStream::pread_part(BlockInfo blk, std::uint64_t off, std::uint64_t len,
+                                     mem::Buffer* out, std::exception_ptr* err,
+                                     sim::Semaphore* gate, sim::Latch* latch) {
+  try {
+    co_await read_block_range(blk, off, len, *out, /*sequential=*/false);
+  } catch (...) {
+    if (!*err) *err = std::current_exception();
+  }
+  gate->release();
+  latch->count_down();
 }
 
 sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t off,
@@ -419,13 +463,17 @@ sim::Task DfsInputStream::close() {
   drop_stream();
   DfsClient& c = client_;
   if (c.reader_ != nullptr) {
-    // Release any descriptors still cached for this file's blocks.
+    // Release any descriptors still cached for this file's blocks. The
+    // entry comes out of the hash BEFORE the suspension: a concurrent
+    // stream closing the same file must neither double-close the vfd nor
+    // invalidate an iterator we still hold.
     for (const BlockInfo& blk : blocks_) {
       auto it = c.vfd_hash_.find(blk.name);
       if (it != c.vfd_hash_.end()) {
-        co_await c.reader_->close(it->second);
+        const std::uint64_t vfd = it->second;
         c.vfd_hash_.erase(it);
         c.vfd_cache_g_.set(static_cast<std::int64_t>(c.vfd_hash_.size()));
+        co_await c.reader_->close(vfd);
       }
     }
   }

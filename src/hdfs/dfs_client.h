@@ -23,6 +23,7 @@
 #include "hdfs/namenode.h"
 #include "mem/buffer.h"
 #include "metrics/registry.h"
+#include "sim/sync.h"
 #include "virt/vm.h"
 #include "virt/vnet.h"
 
@@ -111,6 +112,13 @@ class DfsClient {
   void set_short_circuit(bool on) { short_circuit_ = on; }
   bool short_circuit() const { return short_circuit_; }
 
+  // Positional-read fan-out: a pread spanning several blocks issues up to
+  // this many per-block reads concurrently (results are reassembled in
+  // order). 1 restores the strictly sequential Algorithm 2 loop. Applies
+  // uniformly to every path a part may take (vRead, socket, short-circuit).
+  void set_pread_parallelism(std::size_t n) { pread_parallelism_ = n == 0 ? 1 : n; }
+  std::size_t pread_parallelism() const { return pread_parallelism_; }
+
   virt::Vm& vm() { return vm_; }
   NameNode& namenode() { return nn_; }
   virt::VirtualNetwork& net() { return net_; }
@@ -191,6 +199,7 @@ class DfsClient {
   virt::VirtualNetwork& net_;
   BlockReader* reader_ = nullptr;
   bool short_circuit_ = false;
+  std::size_t pread_parallelism_ = 4;
 
   // Degradation state.
   sim::SimTime fallback_until_ = 0;                     // 0 = shortcut healthy
@@ -278,6 +287,13 @@ class DfsInputStream {
   // vRead first (descriptor hash), else socket.
   sim::Task read_block_range(const BlockInfo& blk, std::uint64_t off, std::uint64_t len,
                              mem::Buffer& out, bool sequential);
+
+  // One spawned leg of a fanned-out pread. Takes the block by value (the
+  // spawning loop's locals die before the leg finishes) and joins through
+  // the latch; the first exception is captured for the parent to rethrow.
+  sim::Task pread_part(BlockInfo blk, std::uint64_t off, std::uint64_t len,
+                       mem::Buffer* out, std::exception_ptr* err, sim::Semaphore* gate,
+                       sim::Latch* latch);
 
   // Vanilla sequential path: keeps a block stream open and consumes it.
   // Reads from replica `dn`; throws HdfsError if that replica lacks the

@@ -65,6 +65,13 @@ struct CostModel {
   sim::Cycles vread_open_guest = 15'000;
   sim::Cycles vread_open_daemon = 20'000;
 
+  // ---- vRead daemon shared block cache ----
+  // A hit serves the ring copy straight out of the cached buffer, skipping
+  // the block layer and the loop-device traversal; these charges are the
+  // hash lookup + LRU bump and the per-page reference work that remain.
+  sim::Cycles daemon_cache_lookup = 700;
+  sim::Cycles daemon_cache_per_page = 40;
+
   // ---- loop device / host-mounted guest filesystem ----
   sim::Cycles loop_per_page = 240;  // per 4 KB page through the loop device
   sim::Cycles mount_refresh = 180'000;  // dentry/inode refresh (vRead_update)

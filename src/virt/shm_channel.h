@@ -16,7 +16,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "fault/fault.h"
 #include "fault/status.h"
@@ -53,15 +55,20 @@ class ShmChannel {
   // `call_timeout` bounds how long the guest waits for a response before
   // declaring the request lost (kVReadErrTimeout on the wire) — the
   // "daemon did not answer" half of the paper's fallback contract.
+  // `max_outstanding` caps concurrent in-flight requests on this channel
+  // (the control area holds that many request slots); extra callers queue
+  // FIFO. Responses demultiplex by request id, so requests complete out of
+  // order and one slow request never serializes the others.
   ShmChannel(Vm& guest, const hw::CostModel& cm,
-             sim::SimTime call_timeout = sim::ms(5))
+             sim::SimTime call_timeout = sim::ms(5),
+             std::size_t max_outstanding = kDefaultMaxOutstanding)
       : guest_(guest),
         cm_(cm),
         call_timeout_(call_timeout),
+        max_outstanding_(max_outstanding == 0 ? 1 : max_outstanding),
         requests_(guest.host().sim()),
-        chunks_(guest.host().sim()),
         slots_(guest.host().sim(), cm.shm_slot_count),
-        call_mutex_(guest.host().sim(), 1),
+        outstanding_(guest.host().sim(), max_outstanding == 0 ? 1 : max_outstanding),
         timeouts_(metrics_.counter("vread_shm_timeouts_total", {{"vm", guest.name()}},
                                    "Guest calls that hit the response timeout")),
         corruptions_(metrics_.counter("vread_shm_corruptions_total",
@@ -74,7 +81,10 @@ class ShmChannel {
                                      "Slots in use (high = deepest the ring got)")),
         ring_wait_ns_(metrics_.histogram("vread_shm_ring_wait_ns",
                                          {{"vm", guest.name()}},
-                                         "Producer wait for free slots when blocked")) {}
+                                         "Producer wait for free slots when blocked")),
+        inflight_g_(metrics_.gauge("vread_shm_inflight", {{"vm", guest.name()}},
+                                   "Requests in flight on this channel "
+                                   "(high = deepest the pipeline got)")) {}
   ShmChannel(const ShmChannel&) = delete;
   ShmChannel& operator=(const ShmChannel&) = delete;
 
@@ -82,29 +92,38 @@ class ShmChannel {
 
   // ---- guest side (runs on the guest vCPU) ----
   // Issues one request and gathers the full response (all data chunks).
-  // Calls serialize per channel, like the prototype's per-fd usage.
+  // Requests demultiplex by id: up to `max_outstanding` calls proceed
+  // concurrently, each collecting its own chunks from a per-request
+  // completion mailbox, so responses may complete out of order. Callers
+  // must use distinct ids for concurrently outstanding requests (libvread
+  // allocates a fresh id per attempt).
   sim::Task call(ShmRequest req, ShmResponse& out) {
     const trace::Ctx ctx = req.ctx;
     auto& tr = trace::tracer();
-    co_await call_mutex_.acquire();
+    co_await outstanding_.acquire();
+    inflight_g_.set(static_cast<std::int64_t>(max_outstanding_ - outstanding_.available()));
     // eventfd doorbell write, translated by the guest vRead driver.
     co_await guest_.run_vcpu(cm_.doorbell_guest, hw::CycleCategory::kInterrupt, ctx);
     // Injected request loss: the doorbell fired but the daemon never saw
-    // the mailbox entry (daemon wedged, ring race). The guest burns the
-    // full timeout before reporting the shortcut unavailable.
+    // the mailbox entry (daemon wedged, ring race). This caller burns the
+    // full timeout before reporting the shortcut unavailable, but holds no
+    // lock while it waits — other requests keep flowing through the ring.
     if (fault::registry().should_fire(fault::points::kShmTimeout)) {
       co_await guest_.host().sim().delay(call_timeout_);
       out = ShmResponse{};
       out.id = req.id;
       out.status = kVReadErrTimeout;
       timeouts_.inc();
-      call_mutex_.release();
+      finish_call();
       co_return;
     }
+    const std::uint64_t rid = req.id;
+    auto mbox = std::make_unique<sim::Mailbox<Chunk>>(guest_.host().sim());
+    pending_[rid] = mbox.get();
     requests_.send(std::move(req));
     out = ShmResponse{};
     for (;;) {
-      Chunk c = co_await chunks_.recv();
+      Chunk c = co_await mbox->recv();
       out.id = c.req_id;
       out.status = c.status;
       out.vfd = c.vfd;
@@ -131,6 +150,7 @@ class ShmChannel {
       }
       if (c.last) break;
     }
+    pending_.erase(rid);
     // Injected response corruption: the payload landed but fails the
     // library's validation; callers treat it like any retryable failure.
     if (fault::registry().should_fire(fault::points::kShmCorrupt)) {
@@ -138,7 +158,7 @@ class ShmChannel {
       out.status = kVReadErrCorrupt;
       corruptions_.inc();
     }
-    call_mutex_.release();
+    finish_call();
   }
 
   // ---- host side (runs on a vRead daemon thread) ----
@@ -158,12 +178,12 @@ class ShmChannel {
     if (data.empty()) {
       co_await cpu.consume(daemon_tid, cm_.doorbell_host, hw::CycleCategory::kInterrupt,
                            ctx);
-      chunks_.send(Chunk{req_id, status, vfd, mem::Buffer(), last});
+      deliver(Chunk{req_id, status, vfd, mem::Buffer(), last});
       co_return;
     }
     // Never ask for more slots than the ring has (tiny-ring configs).
     const std::uint64_t max_chunk =
-        std::min<std::uint64_t>(kChunkBytes, cm_.shm_slot_count * cm_.shm_slot_size);
+        std::min<std::uint64_t>(chunk_bytes(), cm_.shm_slot_count * cm_.shm_slot_size);
     std::uint64_t offset = 0;
     while (offset < data.size()) {
       const std::uint64_t n = std::min<std::uint64_t>(max_chunk, data.size() - offset);
@@ -196,7 +216,7 @@ class ShmChannel {
       co_await cpu.consume(daemon_tid, cm_.doorbell_host,
                            hw::CycleCategory::kInterrupt, ctx);
       const bool ring_last = last && offset + n == data.size();
-      chunks_.send(Chunk{req_id, status, vfd, data.slice(offset, n), ring_last});
+      deliver(Chunk{req_id, status, vfd, data.slice(offset, n), ring_last});
       offset += n;
     }
   }
@@ -215,6 +235,10 @@ class ShmChannel {
   std::uint64_t slot_waits() const { return slot_waits_.value(); }
   // Deepest the ring ever got, in slots (backpressure headroom indicator).
   std::int64_t ring_depth_high() const { return ring_depth_g_.high(); }
+  // In-flight request accounting (the vread_shm_inflight series).
+  std::size_t max_outstanding() const { return max_outstanding_; }
+  std::uint64_t inflight() const { return max_outstanding_ - outstanding_.available(); }
+  std::int64_t inflight_high() const { return inflight_g_.high(); }
 
  private:
   struct Chunk {
@@ -225,26 +249,56 @@ class ShmChannel {
     bool last;
   };
 
-  // 64 slots (256 KB) per doorbell: batches interrupts like the prototype.
-  static constexpr std::uint64_t kChunkBytes = 64 * 4096;
+  static constexpr std::size_t kDefaultMaxOutstanding = 8;
+
+  // 64 slots per doorbell (256 KB at the default 4 KB slot size): batches
+  // interrupts like the prototype. Scales with the configured slot size so
+  // ring-geometry sweeps actually change the doorbell batch.
+  std::uint64_t chunk_bytes() const { return 64 * cm_.shm_slot_size; }
 
   std::uint64_t slots_for(std::uint64_t bytes) const {
     return (bytes + cm_.shm_slot_size - 1) / cm_.shm_slot_size;
   }
 
+  // Routes a response chunk to the completion mailbox of the request it
+  // answers. A chunk for an id nobody waits on (the caller timed out and
+  // wrote the request off) frees its ring slots so the ring cannot leak.
+  void deliver(Chunk c) {
+    auto it = pending_.find(c.req_id);
+    if (it != pending_.end()) {
+      it->second->send(std::move(c));
+      return;
+    }
+    if (!c.data.empty()) {
+      slots_.release(slots_for(c.data.size()));
+      ring_depth_g_.set(
+          static_cast<std::int64_t>(cm_.shm_slot_count - slots_.available()));
+    }
+  }
+
+  void finish_call() {
+    outstanding_.release();
+    inflight_g_.set(
+        static_cast<std::int64_t>(max_outstanding_ - outstanding_.available()));
+  }
+
   Vm& guest_;
   const hw::CostModel& cm_;
   sim::SimTime call_timeout_;
+  std::size_t max_outstanding_;
   sim::Mailbox<ShmRequest> requests_;
-  sim::Mailbox<Chunk> chunks_;
   sim::Semaphore slots_;
-  sim::Semaphore call_mutex_;
+  sim::Semaphore outstanding_;
+  // Request-id -> the issuing call()'s completion mailbox (owned by the
+  // call frame; erased before the frame returns).
+  std::unordered_map<std::uint64_t, sim::Mailbox<Chunk>*> pending_;
   metrics::MetricGroup metrics_;
   metrics::Counter& timeouts_;
   metrics::Counter& corruptions_;
   metrics::Counter& slot_waits_;
   metrics::Gauge& ring_depth_g_;
   metrics::Histogram& ring_wait_ns_;
+  metrics::Gauge& inflight_g_;
 };
 
 }  // namespace vread::virt

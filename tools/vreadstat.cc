@@ -132,7 +132,8 @@ std::string fmt_us(std::uint64_t ns) { return metrics::fmt(static_cast<double>(n
 
 void print_daemon_table(apps::Cluster& c, const std::vector<std::string>& hosts) {
   metrics::TablePrinter t({"daemon", "opens", "reads", "MB", "remote", "refresh",
-                           "hit%", "descs", "p50us", "p95us", "p99us"});
+                           "hit%", "cache%", "infl", "inflhi", "descs", "p50us",
+                           "p95us", "p99us"});
   for (const std::string& h : hosts) {
     core::VReadDaemon* d = c.daemon(h);
     if (d == nullptr) continue;
@@ -142,10 +143,16 @@ void print_daemon_table(apps::Cluster& c, const std::vector<std::string>& hosts)
         lookups == 0 ? 0.0
                      : 100.0 * static_cast<double>(s.mount_lookup_hits) /
                            static_cast<double>(lookups);
+    const std::uint64_t cache_lookups = s.cache_hits + s.cache_misses;
+    const double cache_pct =
+        cache_lookups == 0 ? 0.0
+                           : 100.0 * static_cast<double>(s.cache_hits) /
+                                 static_cast<double>(cache_lookups);
     t.add_row({s.host, s.opens, s.reads,
                metrics::Cell(static_cast<double>(s.bytes_read) / 1e6, 1), s.remote_reads,
-               s.refreshes, metrics::Cell(hit_pct, 1), s.open_descriptors,
-               metrics::num(fmt_us(s.read_latency.percentile(50))),
+               s.refreshes, metrics::Cell(hit_pct, 1), metrics::Cell(cache_pct, 1),
+               s.shm_inflight, static_cast<std::uint64_t>(s.shm_inflight_high),
+               s.open_descriptors, metrics::num(fmt_us(s.read_latency.percentile(50))),
                metrics::num(fmt_us(s.read_latency.percentile(95))),
                metrics::num(fmt_us(s.read_latency.percentile(99)))});
   }
