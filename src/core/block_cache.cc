@@ -16,6 +16,9 @@ BlockCache::BlockCache(std::uint64_t capacity_bytes, const std::string& host)
       integrity_failures_(metrics_.counter("vread_daemon_cache_integrity_failures_total",
                                            {{"host", host}},
                                            "Hits failing checksum verification")),
+      tenant_evictions_(metrics_.counter("vread_daemon_cache_tenant_evictions_total",
+                                         {{"host", host}},
+                                         "Entries evicted by a per-tenant residency cap")),
       bytes_g_(metrics_.gauge("vread_daemon_cache_bytes", {{"host", host}},
                               "Payload bytes currently cached")) {}
 
@@ -54,7 +57,8 @@ mem::Buffer BlockCache::lookup(const std::string& dn, const std::string& block,
 }
 
 void BlockCache::insert(const std::string& dn, const std::string& block,
-                        std::uint64_t offset, const mem::Buffer& data) {
+                        std::uint64_t offset, const mem::Buffer& data,
+                        const std::string& tenant) {
   if (!enabled() || data.empty() || data.size() > capacity_) return;
   const Key key{dn, block, offset};
   auto it = entries_.find(key);
@@ -64,14 +68,55 @@ void BlockCache::insert(const std::string& dn, const std::string& block,
     lru_.splice(lru_.end(), lru_, it->second.lru);
     return;
   }
+  if (!tenant.empty()) {
+    if (auto cap_it = tenant_caps_.find(tenant); cap_it != tenant_caps_.end()) {
+      if (data.size() > cap_it->second) return;  // never fits this tenant
+      evict_tenant_to_fit(tenant, data.size(), cap_it->second);
+    }
+  }
   evict_to_fit(data.size());
   Entry e;
   e.data = data;
   e.checksum = data.checksum();
+  e.tenant = tenant;
   e.lru = lru_.insert(lru_.end(), key);
   bytes_ += data.size();
+  if (!tenant.empty()) tenant_bytes_[tenant] += data.size();
   entries_.emplace(key, std::move(e));
   bytes_g_.set(static_cast<std::int64_t>(bytes_));
+}
+
+void BlockCache::set_tenant_cap(const std::string& tenant, std::uint64_t cap_bytes) {
+  if (cap_bytes == 0) {
+    tenant_caps_.erase(tenant);
+    return;
+  }
+  tenant_caps_[tenant] = cap_bytes;
+  evict_tenant_to_fit(tenant, 0, cap_bytes);
+}
+
+std::uint64_t BlockCache::tenant_cap(const std::string& tenant) const {
+  auto it = tenant_caps_.find(tenant);
+  return it == tenant_caps_.end() ? 0 : it->second;
+}
+
+std::uint64_t BlockCache::tenant_bytes(const std::string& tenant) const {
+  auto it = tenant_bytes_.find(tenant);
+  return it == tenant_bytes_.end() ? 0 : it->second;
+}
+
+void BlockCache::evict_tenant_to_fit(const std::string& tenant, std::uint64_t incoming,
+                                     std::uint64_t cap) {
+  // Walk from the LRU end evicting only this tenant's entries: the cap
+  // squeezes the offender's own working set, never its neighbors'.
+  auto lit = lru_.begin();
+  while (lit != lru_.end() && tenant_bytes(tenant) + incoming > cap) {
+    auto eit = entries_.find(*lit);
+    ++lit;  // advance before erase invalidates the current node
+    if (eit->second.tenant != tenant) continue;
+    tenant_evictions_.inc();
+    erase(eit);
+  }
 }
 
 void BlockCache::invalidate_datanode(const std::string& dn) {
@@ -86,11 +131,15 @@ void BlockCache::clear() {
   entries_.clear();
   lru_.clear();
   bytes_ = 0;
+  tenant_bytes_.clear();
   bytes_g_.set(0);
 }
 
 void BlockCache::erase(std::map<Key, Entry>::iterator it) {
   bytes_ -= it->second.data.size();
+  if (!it->second.tenant.empty()) {
+    tenant_bytes_[it->second.tenant] -= it->second.data.size();
+  }
   lru_.erase(it->second.lru);
   entries_.erase(it);
   bytes_g_.set(static_cast<std::int64_t>(bytes_));

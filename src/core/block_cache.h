@@ -49,8 +49,19 @@ class BlockCache {
 
   // Caches [offset, offset+data.size()) of (dn, block), evicting LRU
   // entries to stay within capacity. Oversized payloads are not cached.
+  // `tenant` attributes the residency for per-tenant caps (§11); empty
+  // means unattributed (counts toward no cap).
   void insert(const std::string& dn, const std::string& block, std::uint64_t offset,
-              const mem::Buffer& data);
+              const mem::Buffer& data, const std::string& tenant = {});
+
+  // Caps how many cached bytes may be attributed to `tenant`; inserts that
+  // would exceed it evict the tenant's own LRU entries first, so one
+  // tenant's working set cannot flush everyone else's. 0 removes the cap.
+  void set_tenant_cap(const std::string& tenant, std::uint64_t cap_bytes);
+  std::uint64_t tenant_cap(const std::string& tenant) const;
+  // Bytes currently cached on behalf of `tenant`.
+  std::uint64_t tenant_bytes(const std::string& tenant) const;
+  std::uint64_t tenant_evictions() const { return tenant_evictions_.value(); }
 
   // Drops every entry belonging to `dn` (vRead_update / remount,
   // unregistration, migration).
@@ -80,16 +91,21 @@ class BlockCache {
   struct Entry {
     mem::Buffer data;
     std::uint64_t checksum = 0;
+    std::string tenant;  // who inserted it (cap accounting); may be empty
     std::list<Key>::iterator lru;
   };
 
   void erase(std::map<Key, Entry>::iterator it);
   void evict_to_fit(std::uint64_t incoming);
+  void evict_tenant_to_fit(const std::string& tenant, std::uint64_t incoming,
+                           std::uint64_t cap);
 
   std::uint64_t capacity_;
   std::uint64_t bytes_ = 0;
   std::map<Key, Entry> entries_;
   std::list<Key> lru_;  // front = LRU victim, back = MRU
+  std::map<std::string, std::uint64_t> tenant_caps_;
+  std::map<std::string, std::uint64_t> tenant_bytes_;
 
   metrics::MetricGroup metrics_;
   metrics::Counter& hits_;
@@ -97,6 +113,7 @@ class BlockCache {
   metrics::Counter& evictions_;
   metrics::Counter& invalidations_;
   metrics::Counter& integrity_failures_;
+  metrics::Counter& tenant_evictions_;
   metrics::Gauge& bytes_g_;
 };
 

@@ -9,6 +9,7 @@ using virt::ShmResponse;
 sim::Task LibVread::call(ShmRequest req, ShmResponse& resp, trace::Ctx ctx) {
   auto& tr = trace::tracer();
   req.ctx = ctx;
+  if (req.tenant.empty()) req.tenant = tenant_;
   for (int attempt = 1;; ++attempt) {
     ShmRequest wire = req;
     wire.id = next_req_++;

@@ -69,6 +69,11 @@ class LibVread : public hdfs::BlockReader {
   virt::Vm& vm() { return vm_; }
   const RetryPolicy& retry_policy() const { return retry_; }
 
+  // QoS accounting identity stamped on every request (defaults to the
+  // client VM's name); override to attribute a stream to another tenant.
+  void set_tenant(std::string tenant) { tenant_ = std::move(tenant); }
+  const std::string& tenant() const { return tenant_; }
+
   // Degradation counters: shm calls re-issued after a retryable failure,
   // and calls that exhausted the retry budget without success.
   std::uint64_t retries() const { return retries_.value(); }
@@ -84,6 +89,7 @@ class LibVread : public hdfs::BlockReader {
   virt::Vm& vm_;
   virt::ShmChannel& channel_;
   RetryPolicy retry_;
+  std::string tenant_{vm_.name()};
   std::unordered_map<std::uint64_t, std::uint64_t> offsets_;  // vfd -> file offset
   std::uint64_t next_req_ = 1;
   metrics::MetricGroup metrics_;

@@ -1,0 +1,156 @@
+// Multi-tenant QoS for the vRead daemon: weighted fair dispatch and
+// overload protection (DESIGN.md §11).
+//
+// PR 4 made the shortcut path concurrent, which also made it contendable:
+// every client VM funnels into one daemon-side worker pool, one shm slot
+// budget and one shared BlockCache, so a single aggressive tenant can
+// monopolize all three. This layer puts a scheduler between the per-VM
+// request pumps and the worker pool:
+//
+//   * accounting — every request is attributed to a tenant (the client VM
+//     by default; streams may override via ShmRequest::tenant);
+//   * weighted deficit round robin — workers dequeue in DRR order, with
+//     request cost measured in payload bytes (floored for control ops), so
+//     achieved throughput shares converge to the configured weights under
+//     saturation while a lone tenant still gets plain FIFO;
+//   * admission control — a per-tenant cap on queued requests; requests
+//     over the cap are shed immediately with a typed retryable Status
+//     (kOverloaded) instead of queueing unboundedly, and the shed is
+//     observable through vread_tenant_shed_total.
+//
+// Everything here is deterministic: dispatch order is a pure function of
+// arrival order, weights and sizes — no clocks, no randomness.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/registry.h"
+#include "sim/sync.h"
+#include "virt/shm_channel.h"
+
+namespace vread::core {
+
+// QoS tuning, embedded in DaemonConfig. Defaults keep a single tenant
+// byte-identical in behavior to plain FIFO and never shed (the per-tenant
+// queue is naturally bounded by the channel's shm_max_outstanding, which
+// stays below max_queue unless a sweep raises it).
+struct QosConfig {
+  // Master switch: false restores the pre-QoS per-client serve loops
+  // (used by the ablation bench as the "no isolation" arm).
+  bool enabled = true;
+
+  // DRR quantum: payload bytes added to a tenant's deficit each time the
+  // dispatcher visits it, scaled by the tenant's weight.
+  std::uint64_t quantum_bytes = 256 * 1024;
+
+  // Dispatch-cost floor in bytes: control ops (open/close/update) and tiny
+  // reads count this much, so a tenant cannot starve others with a flood
+  // of zero-byte operations.
+  std::uint64_t min_request_cost = 4096;
+
+  // Admission cap on requests queued per tenant (0 = unbounded). A request
+  // arriving with the tenant's queue at the cap is shed with kOverloaded.
+  std::size_t max_queue = 64;
+
+  // Relative throughput shares. Tenants absent from `weights` get
+  // `default_weight`; values are clamped to a small positive floor.
+  double default_weight = 1.0;
+  std::map<std::string, double> weights;
+
+  // Per-tenant overrides of DaemonConfig::shm_max_outstanding, applied to
+  // the tenant VM's channel at attach time.
+  std::map<std::string, std::size_t> shm_outstanding;
+
+  // Per-tenant BlockCache residency caps in bytes (absent = share the
+  // whole cache). Over-cap inserts evict the tenant's own LRU entries.
+  std::map<std::string, std::uint64_t> cache_bytes;
+
+  // Per-tenant admission-cap overrides (0 = unbounded for that tenant).
+  std::map<std::string, std::size_t> max_queue_overrides;
+
+  double weight(const std::string& tenant) const {
+    auto it = weights.find(tenant);
+    const double w = it == weights.end() ? default_weight : it->second;
+    return w < 1e-3 ? 1e-3 : w;
+  }
+  std::size_t queue_cap(const std::string& tenant) const {
+    auto it = max_queue_overrides.find(tenant);
+    return it == max_queue_overrides.end() ? max_queue : it->second;
+  }
+};
+
+// Per-tenant accounting snapshot (DaemonStats::tenants, vreadstat).
+struct QosTenantStats {
+  std::string tenant;
+  double weight = 1.0;
+  std::uint64_t requests = 0;  // admitted
+  std::uint64_t bytes = 0;     // payload bytes delivered
+  std::uint64_t shed = 0;      // rejected by admission control
+  std::uint64_t queued = 0;    // currently waiting for a worker
+  std::int64_t queue_high = 0; // deepest the queue ever got
+};
+
+class QosScheduler {
+ public:
+  // One unit of daemon work: the request plus the channel it answers on.
+  struct Item {
+    virt::ShmRequest req;
+    virt::ShmChannel* channel = nullptr;
+  };
+
+  QosScheduler(sim::Simulation& sim, QosConfig config, std::string host);
+  QosScheduler(const QosScheduler&) = delete;
+  QosScheduler& operator=(const QosScheduler&) = delete;
+
+  // Admission + enqueue. Returns false when the tenant's queue is at cap
+  // (or the core.daemon.admission_shed fault fires): the item is dropped,
+  // vread_tenant_shed_total increments, and the caller answers the client
+  // with kOverloaded. FIFO within a tenant.
+  bool submit(const std::string& tenant, Item item);
+
+  // Dequeues the next item in weighted-DRR order; suspends until one is
+  // queued. Any number of workers may wait concurrently (FIFO wakeups).
+  sim::Task next(Item& out);
+
+  // Payload bytes delivered for `tenant` (called by the daemon's stream
+  // paths as chunks land in the ring).
+  void account_bytes(const std::string& tenant, std::uint64_t n);
+
+  std::uint64_t queued(const std::string& tenant) const;
+  std::uint64_t shed(const std::string& tenant) const;
+  std::uint64_t bytes(const std::string& tenant) const;
+  const QosConfig& config() const { return config_; }
+  std::vector<QosTenantStats> stats() const;
+
+ private:
+  struct Tenant {
+    std::string name;
+    double weight = 1.0;
+    std::uint64_t deficit = 0;
+    bool in_active = false;
+    std::deque<Item> queue;
+    metrics::Counter* requests = nullptr;
+    metrics::Counter* bytes = nullptr;
+    metrics::Counter* shed = nullptr;
+    metrics::Gauge* depth = nullptr;
+  };
+
+  Tenant& tenant(const std::string& name);
+  std::uint64_t cost(const virt::ShmRequest& req) const;
+
+  QosConfig config_;
+  std::string host_;
+  // Stable addresses: the active ring and in-flight dispatches hold
+  // Tenant pointers across lazy tenant creation.
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  std::deque<Tenant*> active_;  // tenants with queued work, DRR ring order
+  sim::Semaphore ready_;        // counts queued items across all tenants
+  metrics::MetricGroup metrics_;
+};
+
+}  // namespace vread::core

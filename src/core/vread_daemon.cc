@@ -62,7 +62,14 @@ VReadDaemon::VReadDaemon(virt::Host& host, DaemonConfig config)
                                          "Live entries in the descriptor table")),
       read_latency_(metrics_.histogram("vread_daemon_read_latency_ns",
                                        {{"host", host.name()}},
-                                       "kRead service time, dequeue to last chunk")) {}
+                                       "kRead service time, dequeue to last chunk")) {
+  if (config_.qos.enabled) {
+    qos_ = std::make_unique<QosScheduler>(host.sim(), config_.qos, host.name());
+    for (const auto& [tenant, cap] : config_.qos.cache_bytes) {
+      cache_.set_tenant_cap(tenant, cap);
+    }
+  }
+}
 
 DaemonStats VReadDaemon::stats_snapshot() const {
   DaemonStats s;
@@ -92,6 +99,7 @@ DaemonStats VReadDaemon::stats_snapshot() const {
     s.shm_inflight += port->channel->inflight();
     s.shm_inflight_high += port->channel->inflight_high();
   }
+  if (qos_) s.tenants = qos_->stats();
   s.read_latency = read_latency_;
   for (const auto& [key, c] : peer_bytes_) {
     s.peers.push_back(DaemonStats::PeerTraffic{
@@ -160,20 +168,38 @@ void VReadDaemon::subscribe(hdfs::NameNode& nn) {
 
 virt::ShmChannel& VReadDaemon::attach_client(virt::Vm& client_vm) {
   auto port = std::make_unique<ClientPort>();
-  port->channel = std::make_unique<virt::ShmChannel>(client_vm, host_.costs(),
-                                                     config_.shm_call_timeout,
-                                                     config_.shm_max_outstanding);
+  port->tenant = client_vm.name();
+  // Per-tenant shm pipeline depth override (QoS isolation of the slot
+  // budget); the channel's own semaphore enforces it.
+  std::size_t outstanding = config_.shm_max_outstanding;
+  if (auto it = config_.qos.shm_outstanding.find(port->tenant);
+      config_.qos.enabled && it != config_.qos.shm_outstanding.end()) {
+    outstanding = it->second;
+  }
+  port->channel = std::make_unique<virt::ShmChannel>(
+      client_vm, host_.costs(), config_.shm_call_timeout, outstanding);
   const std::size_t workers = config_.workers == 0 ? 1 : config_.workers;
   for (std::size_t w = 0; w < workers; ++w) {
     std::string name = "vread-daemon-" + client_vm.name();
     if (w > 0) name += "-w" + std::to_string(w + 1);
     port->tids.push_back(host_.cpu().add_thread(name, host_.name()));
   }
-  clients_.push_back(std::move(port));
-  for (hw::ThreadId tid : clients_.back()->tids) {
-    host_.sim().spawn(serve(*clients_.back(), tid));
+  if (qos_) {
+    port->adm_tid =
+        host_.cpu().add_thread("vread-daemon-" + client_vm.name() + "-adm", host_.name());
   }
-  return *clients_.back()->channel;
+  clients_.push_back(std::move(port));
+  ClientPort& p = *clients_.back();
+  if (qos_) {
+    // QoS layout: this port's pump feeds the scheduler; its worker threads
+    // join the daemon-wide pool and dequeue in DRR order, so any worker
+    // may serve any tenant.
+    host_.sim().spawn(pump(p));
+    for (hw::ThreadId tid : p.tids) host_.sim().spawn(pool_worker(tid));
+  } else {
+    for (hw::ThreadId tid : p.tids) host_.sim().spawn(serve(p, tid));
+  }
+  return *p.channel;
 }
 
 VReadDaemon::Transport VReadDaemon::effective_transport(hw::ThreadId tid, trace::Ctx ctx) {
@@ -200,11 +226,51 @@ sim::Task VReadDaemon::serve(ClientPort& port, hw::ThreadId tid) {
     // before this request is picked off the ring. All descriptor state is
     // gone; reads on pre-crash vfds answer BAD_FD below.
     if (fault::registry().should_fire(fault::points::kDaemonCrash)) restart();
-    co_await handle(port, tid, std::move(req));
+    co_await handle(*port.channel, tid, std::move(req));
   }
 }
 
-sim::Task VReadDaemon::handle(ClientPort& port, hw::ThreadId tid, ShmRequest req) {
+sim::Task VReadDaemon::pump(ClientPort& port) {
+  for (;;) {
+    ShmRequest req = co_await port.channel->requests().recv();
+    if (req.tenant.empty()) req.tenant = port.tenant;
+    const std::uint64_t rid = req.id;
+    const std::uint64_t vfd = req.vfd;
+    const trace::Ctx ctx = req.ctx;
+    const std::string tenant = req.tenant;
+    QosScheduler::Item item{std::move(req), port.channel.get()};
+    if (!qos_->submit(tenant, std::move(item))) {
+      // Shed: answer immediately with a typed retryable status. Spawned so
+      // a ring-full stall on the rejection can never block admission of
+      // other tenants' requests.
+      host_.sim().spawn(shed_response(port, rid, vfd, ctx));
+    }
+  }
+}
+
+sim::Task VReadDaemon::pool_worker(hw::ThreadId tid) {
+  const hw::CostModel& cm = host_.costs();
+  for (;;) {
+    QosScheduler::Item item;
+    co_await qos_->next(item);
+    // eventfd wakeup on the daemon side (paid at dispatch, not admission).
+    co_await host_.cpu().consume(tid, cm.doorbell_host, CycleCategory::kInterrupt,
+                                 item.req.ctx);
+    if (fault::registry().should_fire(fault::points::kDaemonCrash)) restart();
+    virt::ShmChannel& channel = *item.channel;
+    co_await handle(channel, tid, std::move(item.req));
+  }
+}
+
+sim::Task VReadDaemon::shed_response(ClientPort& port, std::uint64_t req_id,
+                                     std::uint64_t vfd, trace::Ctx ctx) {
+  co_await port.channel->respond_part(port.adm_tid, req_id, kVReadErrOverloaded, vfd,
+                                      mem::Buffer(), /*last=*/true,
+                                      /*charge_copy=*/true, ctx);
+}
+
+sim::Task VReadDaemon::handle(virt::ShmChannel& channel, hw::ThreadId tid,
+                              ShmRequest req) {
   ShmResponse resp;
   resp.id = req.id;
   const trace::Ctx ctx = req.ctx;
@@ -250,9 +316,9 @@ sim::Task VReadDaemon::handle(ClientPort& port, hw::ThreadId tid, ShmRequest req
       DescriptorPtr d = it->second;
       const sim::SimTime t0 = host_.sim().now();
       if (d->remote) {
-        co_await stream_remote_read(port, tid, req, *d);
+        co_await stream_remote_read(channel, tid, req, *d);
       } else {
-        co_await stream_local_read(port, tid, req, *d);
+        co_await stream_local_read(channel, tid, req, *d);
       }
       read_latency_.observe(static_cast<std::uint64_t>(host_.sim().now() - t0));
       co_return;  // responses already streamed into the ring
@@ -298,7 +364,7 @@ sim::Task VReadDaemon::handle(ClientPort& port, hw::ThreadId tid, ShmRequest req
       break;
     }
   }
-  co_await port.channel->respond(tid, std::move(resp), /*charge_copy=*/true, ctx);
+  co_await channel.respond(tid, std::move(resp), /*charge_copy=*/true, ctx);
 }
 
 sim::Task VReadDaemon::local_open(hw::ThreadId tid, const std::string& dn_id,
@@ -444,7 +510,7 @@ sim::Task VReadDaemon::ensure_resident(hw::ThreadId tid, Descriptor& d,
 
 sim::Task VReadDaemon::local_read(hw::ThreadId tid, Descriptor& d, std::uint64_t offset,
                                   std::uint64_t len, mem::Buffer& out, Status& status,
-                                  trace::Ctx ctx) {
+                                  const std::string& tenant, trace::Ctx ctx) {
   const hw::CostModel& cm = host_.costs();
   auto& tr = trace::tracer();
   if (offset >= d.inode.size) {
@@ -496,7 +562,7 @@ sim::Task VReadDaemon::local_read(hw::ThreadId tid, Descriptor& d, std::uint64_t
                                  CycleCategory::kLoopDevice, ctx);
   }
   out = d.mount->read(d.inode, offset, n);
-  if (!config_.direct_read) cache_.insert(d.dn_id, d.block_name, offset, out);
+  if (!config_.direct_read) cache_.insert(d.dn_id, d.block_name, offset, out, tenant);
   status = Status::Ok();
   reads_.inc();
   bytes_read_.inc(out.size());
@@ -596,14 +662,14 @@ sim::Task VReadDaemon::remote_open(hw::ThreadId tid, VReadDaemon* peer,
   }
 }
 
-sim::Task VReadDaemon::stream_local_read(ClientPort& port, hw::ThreadId tid,
+sim::Task VReadDaemon::stream_local_read(virt::ShmChannel& channel, hw::ThreadId tid,
                                          const virt::ShmRequest& req, Descriptor& d) {
   const trace::Ctx ctx = req.ctx;
   if (req.offset >= d.inode.size) {
     // Snapshot shorter than the reader expects: fall back to vanilla.
-    co_await port.channel->respond_part(tid, req.id, kVReadErrRange, req.vfd,
-                                        mem::Buffer(), /*last=*/true,
-                                        /*charge_copy=*/true, ctx);
+    co_await channel.respond_part(tid, req.id, kVReadErrRange, req.vfd,
+                                  mem::Buffer(), /*last=*/true,
+                                  /*charge_copy=*/true, ctx);
     co_return;
   }
   const std::uint64_t end = std::min(req.offset + req.len, d.inode.size);
@@ -612,12 +678,13 @@ sim::Task VReadDaemon::stream_local_read(ClientPort& port, hw::ThreadId tid,
     const std::uint64_t n = std::min(kStreamChunk, end - off);
     mem::Buffer buf;
     Status status;
-    co_await local_read(tid, d, off, n, buf, status, ctx);
+    co_await local_read(tid, d, off, n, buf, status, req.tenant, ctx);
     const std::int64_t wire =
         status.ok() ? static_cast<std::int64_t>(buf.size()) : status.to_wire();
     const bool last = off + n >= end;
-    co_await port.channel->respond_part(tid, req.id, wire, req.vfd,
-                                        std::move(buf), last, /*charge_copy=*/true, ctx);
+    if (qos_ && status.ok()) qos_->account_bytes(req.tenant, buf.size());
+    co_await channel.respond_part(tid, req.id, wire, req.vfd,
+                                  std::move(buf), last, /*charge_copy=*/true, ctx);
     off += n;
   }
 }
@@ -646,7 +713,7 @@ sim::Task remote_wire_hop(sim::Simulation* sim, hw::Lan* lan, hw::HostId src,
 }
 }  // namespace
 
-sim::Task VReadDaemon::stream_remote_read(ClientPort& port, hw::ThreadId tid,
+sim::Task VReadDaemon::stream_remote_read(virt::ShmChannel& channel, hw::ThreadId tid,
                                           const virt::ShmRequest& req, Descriptor& d) {
   const hw::CostModel& cm = host_.costs();
   const trace::Ctx ctx = req.ctx;
@@ -667,9 +734,9 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, hw::ThreadId tid,
   if (fault::registry().should_fire(fault::points::kPeerDown)) {
     // Peer unreachable mid-stream: report it so the guest library can
     // retry (bounded) and ultimately degrade to the vanilla socket path.
-    co_await port.channel->respond_part(tid, req.id, kVReadErrPeerDown, req.vfd,
-                                        mem::Buffer(), /*last=*/true,
-                                        /*charge_copy=*/true, ctx);
+    co_await channel.respond_part(tid, req.id, kVReadErrPeerDown, req.vfd,
+                                  mem::Buffer(), /*last=*/true,
+                                  /*charge_copy=*/true, ctx);
     co_return;
   }
 
@@ -678,9 +745,12 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, hw::ThreadId tid,
   sim::Mailbox<RemoteChunk> arrivals(host_.sim());
   const std::uint64_t offset = req.offset;
   const std::uint64_t len = req.len;
+  // The peer-side cache insert is attributed to the requesting tenant (its
+  // identity crosses the wire in the control message).
+  const std::string tenant = req.tenant;
   sim::Simulation* sim = &host_.sim();
   std::function<sim::Task(hw::ThreadId)> stream_job =
-      [peer, peer_vfd, offset, len, transport, &arrivals, sim, wire_name,
+      [peer, peer_vfd, offset, len, transport, &arrivals, sim, wire_name, tenant,
        ctx](hw::ThreadId ptid) -> sim::Task {
     const hw::CostModel& pcm = peer->host_.costs();
     auto& tr = trace::tracer();
@@ -701,7 +771,7 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, hw::ThreadId tid,
       const std::uint64_t n = std::min(kStreamChunk, end - off);
       mem::Buffer buf;
       Status status;
-      co_await peer->local_read(ptid, *pd, off, n, buf, status, ctx);
+      co_await peer->local_read(ptid, *pd, off, n, buf, status, tenant, ctx);
       if (transport == Transport::kRdma) {
         // Active push: the datanode-side daemon posts the RDMA write, so
         // its verb cost is higher than the client side's (paper Fig. 7).
@@ -740,9 +810,9 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, hw::ThreadId tid,
   for (;;) {
     RemoteChunk chunk = co_await arrivals.recv();
     if (chunk.status < 0) {
-      co_await port.channel->respond_part(tid, req.id, chunk.status, req.vfd,
-                                          mem::Buffer(), /*last=*/true,
-                                          /*charge_copy=*/true, ctx);
+      co_await channel.respond_part(tid, req.id, chunk.status, req.vfd,
+                                    mem::Buffer(), /*last=*/true,
+                                    /*charge_copy=*/true, ctx);
       co_return;
     }
     const std::uint64_t n = chunk.data.size();
@@ -762,9 +832,10 @@ sim::Task VReadDaemon::stream_remote_read(ClientPort& port, hw::ThreadId tid,
           CycleCategory::kVreadNet, ctx);
       tr.end(sp, n);
     }
+    if (qos_) qos_->account_bytes(req.tenant, n);
     const bool last = chunk.last;
-    co_await port.channel->respond_part(tid, req.id, chunk.status, req.vfd,
-                                        std::move(chunk.data), last, !zero_copy, ctx);
+    co_await channel.respond_part(tid, req.id, chunk.status, req.vfd,
+                                  std::move(chunk.data), last, !zero_copy, ctx);
     if (last) break;
   }
   remote_reads_.inc();

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/block_cache.h"
+#include "core/qos.h"
 #include "fault/status.h"
 #include "fs/loop_mount.h"
 #include "hdfs/namenode.h"
@@ -88,6 +89,8 @@ struct DaemonStats {
   // requests currently in flight, and the deepest it ever got.
   std::uint64_t shm_inflight = 0;
   std::int64_t shm_inflight_high = 0;
+  // Per-tenant QoS accounting (§11); empty when QoS is disabled.
+  std::vector<QosTenantStats> tenants;
   // Distribution of kRead service time (request dequeue -> response
   // streamed), as a copy safe to hold after the daemon dies.
   metrics::Histogram read_latency;
@@ -135,6 +138,12 @@ struct DaemonConfig {
   // regardless — that mode's contract is that every byte comes off the
   // device.
   std::uint64_t cache_bytes = 64ULL << 20;
+
+  // Multi-tenant fairness and overload protection (§11): per-tenant
+  // accounting, weighted-DRR dispatch across the worker pool, per-tenant
+  // caps and kOverloaded shedding. Enabled by default; defaults reduce to
+  // FIFO for a single tenant and never shed.
+  QosConfig qos{};
 };
 
 class VReadDaemon {
@@ -217,6 +226,10 @@ class VReadDaemon {
   BlockCache& cache() { return cache_; }
   const BlockCache& cache() const { return cache_; }
 
+  // QoS scheduler; nullptr when config_.qos.enabled is false.
+  QosScheduler* qos() { return qos_.get(); }
+  const QosScheduler* qos() const { return qos_.get(); }
+
   DaemonStats stats_snapshot() const;
 
  private:
@@ -252,22 +265,39 @@ class VReadDaemon {
 
   struct ClientPort {
     std::unique_ptr<virt::ShmChannel> channel;
+    // Default tenant identity for requests on this channel (the client
+    // VM's name); requests may carry their own via ShmRequest::tenant.
+    std::string tenant;
     // The per-VM daemon worker threads serving this channel (the paper's
-    // per-VM worker, times DaemonConfig::workers).
+    // per-VM worker, times DaemonConfig::workers). With QoS enabled the
+    // same threads join the daemon-wide shared pool instead.
     std::vector<hw::ThreadId> tids;
+    // Admission-path thread: sheds are answered here so an overloaded
+    // tenant's rejections never consume a worker.
+    hw::ThreadId adm_tid{};
   };
 
-  // Per-VM worker loop: drains the channel's request mailbox. With
-  // `workers > 1` several loops share one mailbox; its FIFO multi-waiter
-  // semantics dispatch each request to exactly one idle worker.
+  // Per-VM worker loop (QoS disabled): drains the channel's request
+  // mailbox. With `workers > 1` several loops share one mailbox; its FIFO
+  // multi-waiter semantics dispatch each request to exactly one idle
+  // worker.
   sim::Task serve(ClientPort& port, hw::ThreadId tid);
-  sim::Task handle(ClientPort& port, hw::ThreadId tid, virt::ShmRequest req);
+
+  // QoS path: one pump per port moves requests from the channel mailbox
+  // through admission control into the scheduler; pool workers dequeue in
+  // DRR order. Sheds answer from the port's admission thread.
+  sim::Task pump(ClientPort& port);
+  sim::Task pool_worker(hw::ThreadId tid);
+  sim::Task shed_response(ClientPort& port, std::uint64_t req_id, std::uint64_t vfd,
+                          trace::Ctx ctx);
+
+  sim::Task handle(virt::ShmChannel& channel, hw::ThreadId tid, virt::ShmRequest req);
 
   // Streams a block-read response into the client's ring in packet-sized
   // pieces so the disk, the ring and the guest's copy-out pipeline.
-  sim::Task stream_local_read(ClientPort& port, hw::ThreadId tid,
+  sim::Task stream_local_read(virt::ShmChannel& channel, hw::ThreadId tid,
                               const virt::ShmRequest& req, Descriptor& d);
-  sim::Task stream_remote_read(ClientPort& port, hw::ThreadId tid,
+  sim::Task stream_remote_read(virt::ShmChannel& channel, hw::ThreadId tid,
                                const virt::ShmRequest& req, Descriptor& d);
 
   // --- local operations (run on `tid`, a daemon-side thread) ---
@@ -276,7 +306,7 @@ class VReadDaemon {
                        Status& status, trace::Ctx ctx = {});
   sim::Task local_read(hw::ThreadId tid, Descriptor& d, std::uint64_t offset,
                        std::uint64_t len, mem::Buffer& out, Status& status,
-                       trace::Ctx ctx = {});
+                       const std::string& tenant = {}, trace::Ctx ctx = {});
   sim::Task local_refresh(hw::ThreadId tid, const std::string& dn_id);
 
   // --- remote (daemon-to-daemon) operations, called on a local worker ---
@@ -319,6 +349,9 @@ class VReadDaemon {
   std::map<std::string, LocalMount> local_mounts_;
   std::map<std::string, VReadDaemon*> remote_peers_;
   std::vector<std::unique_ptr<ClientPort>> clients_;
+  // Weighted-DRR dispatch + admission control (§11); created at
+  // construction when config_.qos.enabled.
+  std::unique_ptr<QosScheduler> qos_;
   // Control worker: mount refreshes + serving reads for remote peers.
   std::unique_ptr<hw::WorkerThread> control_;
   std::map<std::uint64_t, DescriptorPtr> descriptors_;

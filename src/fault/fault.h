@@ -45,6 +45,13 @@ inline constexpr const char* kDaemonCrash = "core.daemon.crash";
 inline constexpr const char* kPeerDown = "core.daemon.peer_down";
 // RDMA link down: remote ops fail over to the user-space TCP transport.
 inline constexpr const char* kRdmaDown = "core.daemon.rdma_down";
+// QoS admission control sheds the request as if the tenant's queue were
+// at cap (kVReadErrOverloaded to the client), regardless of actual depth.
+inline constexpr const char* kAdmissionShed = "core.daemon.admission_shed";
+// hdfs::DataNode::handle_read answers "block missing" once, as if the
+// block file vanished mid-serve (transient store trouble); the client's
+// replica failover / pread retry machinery must absorb it.
+inline constexpr const char* kDatanodeReadFail = "hdfs.datanode.read_fail";
 }  // namespace points
 
 // How an armed fault point decides to trigger. Deterministic knobs win

@@ -33,6 +33,7 @@ constexpr std::int64_t kVReadErrRange = -4;       // offset beyond snapshot inod
 constexpr std::int64_t kVReadErrTimeout = -5;     // shm request timed out
 constexpr std::int64_t kVReadErrPeerDown = -6;    // remote peer daemon unreachable
 constexpr std::int64_t kVReadErrCorrupt = -7;     // response failed validation
+constexpr std::int64_t kVReadErrOverloaded = -8;  // admission control shed the request
 
 enum class StatusCode : std::int8_t {
   kOk = 0,
@@ -43,6 +44,7 @@ enum class StatusCode : std::int8_t {
   kTimeout,     // the shm-ring request timed out
   kPeerDown,    // the remote peer daemon did not answer
   kCorrupt,     // the response failed validation on arrival
+  kOverloaded,  // the daemon's QoS admission control shed the request
   kUnknown,     // unmapped wire value (forward compatibility)
 };
 
@@ -79,6 +81,10 @@ class Status {
       case StatusCode::kTimeout:
       case StatusCode::kPeerDown:
       case StatusCode::kCorrupt:
+      case StatusCode::kOverloaded:
+        // Overload is transient by construction: the daemon shed the
+        // request instead of queueing it, so a backed-off retry is exactly
+        // what the admission controller wants the client to do.
         return StatusCategory::kTransport;
       case StatusCode::kUnknown:
         return StatusCategory::kInternal;
@@ -112,6 +118,7 @@ class Status {
       case StatusCode::kTimeout: return kVReadErrTimeout;
       case StatusCode::kPeerDown: return kVReadErrPeerDown;
       case StatusCode::kCorrupt: return kVReadErrCorrupt;
+      case StatusCode::kOverloaded: return kVReadErrOverloaded;
       case StatusCode::kUnknown: return kVReadErrNoDatanode;
     }
     return kVReadErrNoDatanode;
@@ -128,6 +135,7 @@ class Status {
       case kVReadErrTimeout: code = StatusCode::kTimeout; break;
       case kVReadErrPeerDown: code = StatusCode::kPeerDown; break;
       case kVReadErrCorrupt: code = StatusCode::kCorrupt; break;
+      case kVReadErrOverloaded: code = StatusCode::kOverloaded; break;
       default: break;
     }
     return Status(code, std::move(detail));
@@ -143,6 +151,7 @@ class Status {
       case StatusCode::kTimeout: return "TIMEOUT";
       case StatusCode::kPeerDown: return "PEER_DOWN";
       case StatusCode::kCorrupt: return "CORRUPT";
+      case StatusCode::kOverloaded: return "OVERLOADED";
       case StatusCode::kUnknown: return "UNKNOWN";
     }
     return "UNKNOWN";

@@ -1,5 +1,6 @@
 #include "hdfs/datanode.h"
 
+#include "fault/fault.h"
 #include "hdfs/wire.h"
 
 namespace vread::hdfs {
@@ -85,6 +86,10 @@ sim::Task DataNode::handle_read(TcpSocket conn, const std::string& block_name,
                                     static_cast<int>(vm_.vcpu_tid()));
   if (sp != 0) ctx = ctx.under(sp);
   auto ino = vm_.fs().lookup(block_path(block_name));
+  // Injected transient store trouble: answer "block missing" as if the
+  // block file vanished mid-serve. The client's replica failover / pread
+  // retry machinery absorbs it.
+  if (fault::registry().should_fire(fault::points::kDatanodeReadFail)) ino.reset();
   wire::Writer w;
   if (!ino) {
     w.i64(-1);

@@ -150,14 +150,21 @@ sim::Task DfsClient::fetch_block_range(const BlockInfo& blk,
                                        mem::Buffer& out, trace::Ctx ctx) {
   const hw::CostModel& cm = vm_.host().costs();
   // Reuse (or establish) the cached per-datanode connection; requests on
-  // it serialize.
+  // it serialize. The mutex is created synchronously (no suspension between
+  // the check and the store) so concurrent fan-out legs arriving before the
+  // first connect completes all contend on the SAME semaphore — and the
+  // connect itself happens under it, so a second leg can never clobber the
+  // half-established socket.
   CachedConn& cc = pread_conns_[datanode_id];
+  if (!cc.mutex) cc.mutex = std::make_unique<sim::Semaphore>(vm_.host().sim(), 1);
+  co_await cc.mutex->acquire();
   if (!cc.sock) {
-    cc.mutex = std::make_unique<sim::Semaphore>(vm_.host().sim(), 1);
-    co_await cc.mutex->acquire();
-    co_await net_.connect(vm_, datanode_id, DataNode::kPort, cc.sock);
-  } else {
-    co_await cc.mutex->acquire();
+    try {
+      co_await net_.connect(vm_, datanode_id, DataNode::kPort, cc.sock);
+    } catch (...) {
+      cc.mutex->release();
+      throw;
+    }
   }
   TcpSocket conn = cc.sock;
   wire::Writer w;
@@ -263,28 +270,41 @@ sim::Task DfsInputStream::pread(std::uint64_t position, std::uint64_t len,
   // Fan-out: bounded by the gate, joined by the latch, results landing in
   // per-part buffers so reassembly is in order regardless of completion
   // order. Spawn order is deterministic and so are all wakeups (FIFO).
+  // Errors land per-leg: a leg that fails (after its in-place retry) must
+  // not clobber a sibling's, and the first failure *in block order* — not
+  // completion order — is the one rethrown, so the surfaced error is
+  // deterministic.
   sim::Simulation& sim = client_.vm().host().sim();
   std::vector<mem::Buffer> bufs(parts.size());
-  std::exception_ptr err;
+  std::vector<std::exception_ptr> errs(parts.size());
   sim::Semaphore gate(sim, client_.pread_parallelism_);
   sim::Latch latch(sim, parts.size());
   for (std::size_t i = 0; i < parts.size(); ++i) {
     co_await gate.acquire();
-    sim.spawn(pread_part(parts[i].blk, parts[i].off, parts[i].n, &bufs[i], &err, &gate,
-                         &latch));
+    sim.spawn(pread_part(parts[i].blk, parts[i].off, parts[i].n, &bufs[i], &errs[i],
+                         &gate, &latch));
   }
   co_await latch.wait();
-  if (err) std::rethrow_exception(err);
+  for (const std::exception_ptr& e : errs) {
+    if (e) std::rethrow_exception(e);
+  }
   for (mem::Buffer& b : bufs) out.append(b);
 }
 
 sim::Task DfsInputStream::pread_part(BlockInfo blk, std::uint64_t off, std::uint64_t len,
                                      mem::Buffer* out, std::exception_ptr* err,
                                      sim::Semaphore* gate, sim::Latch* latch) {
-  try {
-    co_await read_block_range(blk, off, len, *out, /*sequential=*/false);
-  } catch (...) {
-    if (!*err) *err = std::current_exception();
+  for (int attempt = 1; attempt <= kPreadPartAttempts; ++attempt) {
+    // Reset both slots before every attempt: a retry after a partial
+    // failure must never deliver bytes twice or leave a stale error.
+    *out = mem::Buffer();
+    *err = nullptr;
+    try {
+      co_await read_block_range(blk, off, len, *out, /*sequential=*/false);
+      break;
+    } catch (...) {
+      *err = std::current_exception();
+    }
   }
   gate->release();
   latch->count_down();
@@ -351,6 +371,7 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
           // No descriptor obtained (registry miss, stale mount, transport
           // trouble after the library's retries): degrade, and stop probing
           // until the cooldown expires.
+          if (st.code() == StatusCode::kOverloaded) c.vread_overloaded_.inc();
           vread_failed = true;
           c.enter_vread_cooldown();
         }
@@ -382,6 +403,7 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
     // Shortcut failed mid-flight: drop the descriptor and fall through.
     // Stale descriptors (daemon restarted, snapshot moved) re-open on the
     // next read with no cooldown; anything else starts one.
+    if (st.code() == StatusCode::kOverloaded) c.vread_overloaded_.inc();
     co_await reader->close(vfd);
     c.vfd_hash_.erase(blk.name);
     c.vfd_cache_g_.set(static_cast<std::int64_t>(c.vfd_hash_.size()));
@@ -404,6 +426,10 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
   }
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     try {
+      // A failed candidate may have partially filled `out` before
+      // throwing; start every attempt from an empty buffer so a failover
+      // can never deliver duplicate bytes.
+      out = mem::Buffer();
       if (sequential) {
         co_await read_from_stream(blk, candidates[i], off, len, out, sctx);
       } else {

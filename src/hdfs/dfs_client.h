@@ -53,6 +53,9 @@ class DfsClient {
         vread_suppressed_(metrics_.counter("vread_client_suppressed_total",
                                            {{"vm", vm.name()}},
                                            "Opens skipped during a cooldown")),
+        vread_overloaded_(metrics_.counter(
+            "vread_client_overloaded_total", {{"vm", vm.name()}},
+            "vRead calls shed by daemon admission control (after library retries)")),
         reads_vread_(metrics_.counter("vread_client_reads_total",
                                       {{"path", "vread"}, {"vm", vm.name()}},
                                       "Block-range reads by the path that served them")),
@@ -92,6 +95,9 @@ class DfsClient {
   std::uint64_t vread_cooldowns() const { return vread_cooldowns_.value(); }
   std::uint64_t vread_reprobes() const { return vread_reprobes_.value(); }
   std::uint64_t vread_suppressed() const { return vread_suppressed_.value(); }
+  // Shed-by-admission-control failures that reached this client (each one
+  // already burned the library's full retry/backoff budget).
+  std::uint64_t vread_overloaded() const { return vread_overloaded_.value(); }
 
   // Path-taken counters: which mechanism ultimately served each
   // block-range read (Algorithms 1-2 decide per read).
@@ -211,6 +217,7 @@ class DfsClient {
   metrics::Counter& vread_cooldowns_;
   metrics::Counter& vread_reprobes_;
   metrics::Counter& vread_suppressed_;
+  metrics::Counter& vread_overloaded_;
   metrics::Counter& reads_vread_;
   metrics::Counter& reads_socket_;
   metrics::Counter& reads_short_circuit_;
@@ -290,10 +297,18 @@ class DfsInputStream {
 
   // One spawned leg of a fanned-out pread. Takes the block by value (the
   // spawning loop's locals die before the leg finishes) and joins through
-  // the latch; the first exception is captured for the parent to rethrow.
+  // the latch. A failed leg is retried in place (bounded, with the output
+  // buffer reset first so a retry can never double-deliver bytes); the
+  // leg's final exception, if any, lands in its own slot of the parent's
+  // error vector so one shed block never poisons its siblings.
   sim::Task pread_part(BlockInfo blk, std::uint64_t off, std::uint64_t len,
                        mem::Buffer* out, std::exception_ptr* err, sim::Semaphore* gate,
                        sim::Latch* latch);
+
+  // Per-leg retry budget for fanned-out pread parts: a first failure
+  // (e.g. the daemon shed the read mid-fan-out, or a replica answered
+  // "missing" transiently) gets exactly one fresh attempt.
+  static constexpr int kPreadPartAttempts = 2;
 
   // Vanilla sequential path: keeps a block stream open and consumes it.
   // Reads from replica `dn`; throws HdfsError if that replica lacks the

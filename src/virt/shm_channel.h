@@ -39,6 +39,9 @@ struct ShmRequest {
   std::uint64_t vfd = 0;
   std::uint64_t offset = 0;
   std::uint64_t len = 0;
+  std::string tenant;        // QoS accounting identity; libvread stamps the
+                             // client VM's name (streams may override), the
+                             // daemon falls back to the channel's VM
   trace::Ctx ctx{};          // read attribution; rides the request slot so
                              // daemon-side spans join the client's trace
 };

@@ -20,6 +20,7 @@
 #include "metrics/accounting.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
+#include "testutil.h"
 #include "virt/host.h"
 #include "virt/shm_channel.h"
 #include "virt/vm.h"
@@ -32,16 +33,12 @@ using apps::ClusterConfig;
 using apps::DfsIoResult;
 using apps::TestDfsIo;
 using mem::Buffer;
+using testutil::Bed;
+using testutil::small_blocks;
 
 constexpr std::uint64_t kFileBytes = 12 * 1024 * 1024;
 constexpr std::uint64_t kSeed = 77;
 constexpr std::size_t kReaders = 4;
-
-ClusterConfig small_blocks() {
-  ClusterConfig cfg;
-  cfg.block_size = 4 * 1024 * 1024;
-  return cfg;
-}
 
 DaemonConfig concurrent_stack(Transport t = Transport::kRdma) {
   DaemonConfig dc;
@@ -141,20 +138,6 @@ TEST(ConcurrentStreams, DeterministicWithWorkerPoolAndFanout) {
   EXPECT_EQ(rend1, rend2);
   EXPECT_EQ(rsums1, rsums2);
 }
-
-// client + datanode1 on host1, datanode2 on host2 (the vread_test bed).
-struct Bed {
-  Cluster cluster;
-  explicit Bed(ClusterConfig cfg = small_blocks()) : cluster(cfg) {
-    cluster.add_host("host1");
-    cluster.add_host("host2");
-    cluster.add_vm("host1", "client");
-    cluster.create_namenode("client");
-    cluster.add_datanode("host1", "datanode1");
-    cluster.add_datanode("host2", "datanode2");
-    cluster.add_client("client");
-  }
-};
 
 TEST(BlockCacheCopies, CacheHitsKeepTwoCopiesPerByte) {
   Bed bed;

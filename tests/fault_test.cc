@@ -21,6 +21,7 @@
 #include "fault/fault.h"
 #include "mem/buffer.h"
 #include "metrics/fault_stats.h"
+#include "testutil.h"
 
 namespace vread {
 namespace {
@@ -30,51 +31,11 @@ using apps::ClusterConfig;
 using apps::DfsIoResult;
 using apps::TestDfsIo;
 using mem::Buffer;
-
-// True when CI runs this binary under a global chaos schedule; exact
-// zero-count assertions are skipped then (extra armed points add noise the
-// degradation machinery absorbs, which is the point of the chaos run).
-bool chaos_baseline() { return std::getenv("VREAD_FAULT_SCHEDULE") != nullptr; }
-
-// Restores the global registry to its baseline around every cluster test.
-struct RegistryGuard {
-  RegistryGuard() { fault::registry().reset(); }
-  ~RegistryGuard() { fault::registry().reset(); }
-};
-
-ClusterConfig fast_cfg() {
-  ClusterConfig cfg;
-  cfg.block_size = 4 * 1024 * 1024;
-  return cfg;
-}
-
-// Co-located bed: client VM + datanode1 on one host.
-std::unique_ptr<Cluster> local_bed(std::uint64_t bytes, std::uint64_t seed) {
-  auto c = std::make_unique<Cluster>(fast_cfg());
-  c->add_host("host1");
-  c->add_vm("host1", "client");
-  c->create_namenode("client");
-  c->add_datanode("host1", "datanode1");
-  c->add_client("client");
-  if (bytes > 0) c->preload_file("/f", bytes, seed, {{"datanode1"}});
-  return c;
-}
-
-// Remote bed: client on host1, the only replica on host2 -> every vRead
-// goes daemon-to-daemon.
-std::unique_ptr<Cluster> remote_bed(std::uint64_t bytes, std::uint64_t seed) {
-  auto c = std::make_unique<Cluster>(fast_cfg());
-  c->add_host("host1");
-  c->add_host("host2");
-  c->add_vm("host1", "client");
-  c->create_namenode("client");
-  c->add_datanode("host2", "datanode2");
-  c->add_client("client");
-  c->preload_file("/f", bytes, seed, {{"datanode2"}});
-  return c;
-}
-
-sim::Task idle(Cluster* c, sim::SimTime t) { co_await c->sim().delay(t); }
+using testutil::chaos_baseline;
+using testutil::idle;
+using testutil::local_bed;
+using testutil::RegistryGuard;
+using testutil::remote_bed;
 
 // --- registry semantics (local Registry instances: immune to the chaos
 // baseline, which only applies to the process-global registry) ---

@@ -1,0 +1,95 @@
+// Shared cluster/file-setup helpers for the test suites (docs/TESTING.md).
+//
+// Most end-to-end suites want one of three topologies:
+//   * Bed         — the canonical two-host bed (paper Fig. 10 minus the
+//                   lookbusy VMs): client + datanode1 on host1, datanode2
+//                   on host2, 4 MB blocks;
+//   * local_bed   — single host, client + datanode1 co-located (every
+//                   vRead is a local shortcut);
+//   * remote_bed  — client on host1, the only replica on host2 (every
+//                   vRead goes daemon-to-daemon).
+// plus the fault-registry hygiene wrappers (RegistryGuard, chaos_baseline)
+// shared by everything that arms fault points.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+
+#include "apps/cluster.h"
+#include "fault/fault.h"
+#include "sim/simulation.h"
+
+namespace vread::testutil {
+
+// 4 MB blocks: multi-block files stay small enough for fast tests while
+// still exercising block-boundary logic.
+inline apps::ClusterConfig small_blocks() {
+  apps::ClusterConfig cfg;
+  cfg.block_size = 4 * 1024 * 1024;
+  return cfg;
+}
+
+// The canonical two-host bed: client + datanode1 on host1, datanode2 on
+// host2. Local reads hit datanode1's mount, remote reads go through
+// host2's daemon.
+struct Bed {
+  apps::Cluster cluster;
+  explicit Bed(apps::ClusterConfig cfg = small_blocks()) : cluster(cfg) {
+    cluster.add_host("host1");
+    cluster.add_host("host2");
+    cluster.add_vm("host1", "client");
+    cluster.create_namenode("client");
+    cluster.add_datanode("host1", "datanode1");
+    cluster.add_datanode("host2", "datanode2");
+    cluster.add_client("client");
+  }
+};
+
+// Co-located bed: client VM + datanode1 on one host. `bytes > 0` preloads
+// "/f" with deterministic contents under `seed`.
+inline std::unique_ptr<apps::Cluster> local_bed(std::uint64_t bytes,
+                                                std::uint64_t seed) {
+  auto c = std::make_unique<apps::Cluster>(small_blocks());
+  c->add_host("host1");
+  c->add_vm("host1", "client");
+  c->create_namenode("client");
+  c->add_datanode("host1", "datanode1");
+  c->add_client("client");
+  if (bytes > 0) c->preload_file("/f", bytes, seed, {{"datanode1"}});
+  return c;
+}
+
+// Remote bed: client on host1, the only replica on host2 -> every vRead
+// goes daemon-to-daemon.
+inline std::unique_ptr<apps::Cluster> remote_bed(std::uint64_t bytes,
+                                                 std::uint64_t seed) {
+  auto c = std::make_unique<apps::Cluster>(small_blocks());
+  c->add_host("host1");
+  c->add_host("host2");
+  c->add_vm("host1", "client");
+  c->create_namenode("client");
+  c->add_datanode("host2", "datanode2");
+  c->add_client("client");
+  c->preload_file("/f", bytes, seed, {{"datanode2"}});
+  return c;
+}
+
+// True when CI runs the binary under a global chaos schedule
+// (VREAD_FAULT_SCHEDULE); exact zero-count assertions are skipped then —
+// extra armed points add noise the degradation machinery absorbs, which is
+// the point of the chaos run.
+inline bool chaos_baseline() { return std::getenv("VREAD_FAULT_SCHEDULE") != nullptr; }
+
+// Restores the global fault registry to its baseline around a test.
+struct RegistryGuard {
+  RegistryGuard() { fault::registry().reset(); }
+  RegistryGuard(const RegistryGuard&) = delete;
+  RegistryGuard& operator=(const RegistryGuard&) = delete;
+  ~RegistryGuard() { fault::registry().reset(); }
+};
+
+// Keeps a cluster's event loop alive for `t` of simulated time.
+inline sim::Task idle(apps::Cluster* c, sim::SimTime t) { co_await c->sim().delay(t); }
+
+}  // namespace vread::testutil

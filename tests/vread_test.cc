@@ -10,6 +10,7 @@
 #include "core/libvread.h"
 #include "core/vread_daemon.h"
 #include "mem/buffer.h"
+#include "testutil.h"
 
 namespace vread::core {
 namespace {
@@ -19,27 +20,8 @@ using apps::ClusterConfig;
 using apps::DfsIoResult;
 using apps::TestDfsIo;
 using mem::Buffer;
-
-ClusterConfig small_blocks() {
-  ClusterConfig cfg;
-  cfg.block_size = 4 * 1024 * 1024;
-  return cfg;
-}
-
-// client + datanode1 on host1, datanode2 on host2 (paper Fig. 10 minus
-// the lookbusy VMs).
-struct Bed {
-  Cluster cluster;
-  explicit Bed(ClusterConfig cfg = small_blocks()) : cluster(cfg) {
-    cluster.add_host("host1");
-    cluster.add_host("host2");
-    cluster.add_vm("host1", "client");
-    cluster.create_namenode("client");
-    cluster.add_datanode("host1", "datanode1");
-    cluster.add_datanode("host2", "datanode2");
-    cluster.add_client("client");
-  }
-};
+using testutil::Bed;
+using testutil::small_blocks;
 
 TEST(VReadLocal, ColocatedReadReturnsIdenticalBytes) {
   Bed bed;

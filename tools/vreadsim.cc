@@ -10,17 +10,25 @@
 //   vreadsim --vread                       # the paper's system
 //   vreadsim --vread --scenario remote --transport tcp --freq 1.6
 //   vreadsim --vread --lookbusy 2 --reread --breakdown
+//   vreadsim --soak 3 --seed 7             # randomized multi-tenant chaos soak
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/cluster.h"
 #include "apps/dfsio.h"
+#include "core/vread_daemon.h"
+#include "fault/fault.h"
+#include "hdfs/dfs_client.h"
 #include "mem/buffer.h"
 #include "metrics/export.h"
 #include "metrics/table.h"
+#include "sim/random.h"
+#include "sim/sync.h"
 #include "trace/aggregate.h"
 #include "trace/chrome_export.h"
 #include "trace/tracer.h"
@@ -44,6 +52,8 @@ struct Options {
   std::string trace_file = "vreadsim.trace.json";
   bool metrics = false;
   std::string metrics_file = "vreadsim.metrics.prom";
+  std::uint64_t soak = 0;  // randomized soak iterations (0 = normal run)
+  std::uint64_t seed = 1;  // soak base seed
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -65,7 +75,14 @@ struct Options {
       << "                         Perfetto / chrome://tracing)\n"
       << "  --metrics [FILE]       dump the live metrics registry after the run\n"
       << "                         (default vreadsim.metrics.prom; a .json\n"
-      << "                         extension selects the JSON exposition)\n";
+      << "                         extension selects the JSON exposition)\n"
+      << "  --soak N               run N randomized multi-tenant chaos-soak\n"
+      << "                         iterations (tenant mixes, QoS weights, fault\n"
+      << "                         schedule and request sizes drawn from --seed)\n"
+      << "                         and verify every read byte-identically\n"
+      << "  --seed S               soak base seed (default 1); iteration i runs\n"
+      << "                         under seed S+i, so a failure replays with\n"
+      << "                         --soak 1 --seed S+i\n";
   std::exit(2);
 }
 
@@ -103,6 +120,10 @@ Options parse(int argc, char** argv) {
     } else if (a == "--metrics") {
       o.metrics = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') o.metrics_file = argv[++i];
+    } else if (a == "--soak") {
+      o.soak = std::stoull(next());
+    } else if (a == "--seed") {
+      o.seed = std::stoull(next());
     } else {
       usage(argv[0]);
     }
@@ -127,10 +148,142 @@ void print_breakdown(apps::Cluster& c, const apps::Cluster::Window& w) {
   t.print();
 }
 
+// ---- randomized chaos soak (docs/TESTING.md, soak tier) ----
+//
+// Each iteration builds a fresh multi-tenant two-host cluster from the
+// iteration seed: 2-4 tenant VMs with random QoS weights, a file spread
+// over a co-located and a remote datanode, a deterministic probabilistic
+// fault schedule (budgeted, so every run terminates), and several
+// concurrent positional-read streams per tenant drawing random offsets and
+// request sizes. The single invariant: every read returns exactly the
+// preloaded bytes, no matter what the fault schedule did — the degradation
+// machinery (retries, sheds, socket fallback) must absorb everything.
+
+// One soak stream: random preads from `path` until `budget` bytes are
+// consumed, each verified against the deterministic contents. Free
+// function: spawned coroutines must not be lambdas.
+sim::Task soak_stream(apps::Cluster* c, std::string vm, std::uint64_t file_bytes,
+                      std::uint64_t content_seed, std::uint64_t stream_seed,
+                      std::uint64_t budget, std::uint64_t* bad_reads,
+                      sim::Latch* done) {
+  sim::Rng rng(stream_seed);
+  std::unique_ptr<hdfs::DfsInputStream> in;
+  co_await c->client(vm)->open("/data", in);
+  std::uint64_t left = budget;
+  while (left > 0) {
+    const std::uint64_t len =
+        std::min(left, 4096 + rng.uniform(0, 512 * 1024 - 4096));
+    const std::uint64_t off = file_bytes > len ? rng.uniform(0, file_bytes - len) : 0;
+    mem::Buffer out;
+    co_await in->pread(off, len, out);
+    if (out.size() != len || out != mem::Buffer::deterministic(content_seed, off, len)) {
+      ++*bad_reads;
+    }
+    left -= len;
+  }
+  co_await in->close();
+  done->count_down();
+}
+
+sim::Task soak_job(apps::Cluster* c, const std::vector<std::string>* tenants,
+                   std::size_t streams, std::uint64_t file_bytes,
+                   std::uint64_t content_seed, std::uint64_t iter_seed,
+                   std::uint64_t budget, std::uint64_t* bad_reads) {
+  sim::Latch done(c->sim(), tenants->size() * streams);
+  std::uint64_t salt = iter_seed;
+  for (const std::string& t : *tenants) {
+    for (std::size_t k = 0; k < streams; ++k) {
+      c->sim().spawn(soak_stream(c, t, file_bytes, content_seed,
+                                 ++salt * 0x9e3779b97f4a7c15ULL, budget, bad_reads,
+                                 &done));
+    }
+  }
+  co_await done.wait();
+}
+
+int run_soak(const Options& o) {
+  for (std::uint64_t i = 0; i < o.soak; ++i) {
+    const std::uint64_t seed = o.seed + i;
+    sim::Rng rng(seed);
+    const std::size_t n_tenants = 2 + static_cast<std::size_t>(rng.uniform(0, 2));
+    const std::size_t streams = 2 + static_cast<std::size_t>(rng.uniform(0, 2));
+    const std::uint64_t file_bytes = (16 + rng.uniform(0, 16)) << 20;
+    const std::uint64_t content_seed = rng.next();
+    const bool tight_queue = rng.uniform(0, 3) == 0;  // sometimes force sheds
+
+    apps::ClusterConfig cfg;
+    cfg.cores_per_host = 8;
+    cfg.block_size = 4 << 20;
+    apps::Cluster c(cfg);
+    c.add_host("host1");
+    c.add_host("host2");
+    c.add_vm("host1", "nn");
+    c.create_namenode("nn");
+    c.add_datanode("host1", "datanode1");
+    c.add_datanode("host2", "datanode2");
+    std::vector<std::string> tenants;
+    core::DaemonConfig dc;
+    for (std::size_t t = 0; t < n_tenants; ++t) {
+      tenants.push_back("tenant" + std::to_string(t + 1));
+      c.add_vm("host1", tenants.back());
+      c.add_client(tenants.back());
+      dc.qos.weights[tenants.back()] = static_cast<double>(1 + rng.uniform(0, 7));
+      if (tight_queue) dc.qos.shm_outstanding[tenants.back()] = 16;
+    }
+    if (tight_queue) dc.qos.max_queue = 8;
+    // Local + remote replicas: streams exercise both the co-located
+    // shortcut and the daemon-to-daemon path in one run.
+    c.preload_file("/data", file_bytes, content_seed,
+                   {{"datanode1"}, {"datanode2"}});
+    c.enable_vread(dc);
+    c.drop_all_caches();
+
+    // Budgeted probabilistic chaos, seeded from the iteration: every knob
+    // deterministic, every budget finite, so the run always terminates.
+    fault::registry().seed(seed);
+    fault::registry().load_schedule(
+        "virt.shm.timeout:p=0.002,max=20;"
+        "virt.shm.corrupt:p=0.002,max=20;"
+        "core.daemon.crash:after=40,max=2;"
+        "core.daemon.admission_shed:p=0.005,max=50;"
+        "hdfs.datanode.read_fail:p=0.003,max=10;"
+        "fs.loop.stale_lookup:p=0.01,max=30");
+
+    std::uint64_t bad_reads = 0;
+    const std::uint64_t budget = 8 << 20;  // bytes per stream
+    c.run_job(soak_job(&c, &tenants, streams, file_bytes, content_seed, seed, budget,
+                       &bad_reads));
+
+    std::uint64_t sheds = 0, retries = 0, fallbacks = 0;
+    for (const std::string& t : tenants) {
+      sheds += c.daemon("host1")->qos()->shed(t);
+      retries += c.libvread(t)->retries();
+      fallbacks += c.client(t)->vread_fallback_reads();
+    }
+    std::cout << "soak iter " << i + 1 << "/" << o.soak << " seed=" << seed
+              << " tenants=" << n_tenants << " streams=" << streams
+              << " file=" << (file_bytes >> 20) << "MB"
+              << (tight_queue ? " tight-queue" : "") << ": sheds=" << sheds
+              << " retries=" << retries << " fallbacks=" << fallbacks
+              << " bad_reads=" << bad_reads << "\n";
+    fault::registry().reset();
+    if (bad_reads != 0) {
+      std::cerr << "SOAK FAILURE: " << bad_reads
+                << " reads returned wrong bytes; replay with: vreadsim --soak 1 --seed "
+                << seed << "\n";
+      return 1;
+    }
+  }
+  std::cout << "soak passed (" << o.soak << " iterations, base seed " << o.seed
+            << ")\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  if (o.soak > 0) return run_soak(o);
 
   apps::ClusterConfig cfg;
   cfg.freq_ghz = o.freq_ghz;

@@ -178,6 +178,27 @@ void print_peer_table(apps::Cluster& c, const std::vector<std::string>& hosts) {
   }
 }
 
+void print_tenant_table(apps::Cluster& c, const std::vector<std::string>& hosts) {
+  metrics::TablePrinter t({"daemon", "tenant", "weight", "reqs", "MB", "shed",
+                           "queued", "qhigh"});
+  bool any = false;
+  for (const std::string& h : hosts) {
+    core::VReadDaemon* d = c.daemon(h);
+    if (d == nullptr) continue;
+    const core::DaemonStats s = d->stats_snapshot();
+    for (const core::QosTenantStats& q : s.tenants) {
+      t.add_row({s.host, q.tenant, metrics::Cell(q.weight, 1), q.requests,
+                 metrics::Cell(static_cast<double>(q.bytes) / 1e6, 1), q.shed,
+                 q.queued, static_cast<std::uint64_t>(q.queue_high)});
+      any = true;
+    }
+  }
+  if (any) {
+    std::cout << "per-tenant QoS accounting:\n";
+    t.print();
+  }
+}
+
 sim::Task sampler(apps::Cluster& c, sim::SimTime interval,
                   std::vector<std::string> hosts, const bool& done) {
   for (;;) {
@@ -228,6 +249,7 @@ int run_live(const Options& o) {
   std::cout << "\nfinal (" << metrics::fmt(r.throughput_mbps) << " MBps, content "
             << (r.checksum == expected ? "verified" : "MISMATCH!") << "):\n";
   print_daemon_table(c, hosts);
+  print_tenant_table(c, hosts);
   print_peer_table(c, hosts);
   return r.checksum == expected ? 0 : 1;
 }
