@@ -1,0 +1,241 @@
+// Ablation: cross-VM request coalescing at the daemon fan-out point
+// (DESIGN.md §12).
+//
+// N client streams on host1 re-read the SAME remote file (only replica on
+// host2), so every byte crosses the daemon-to-daemon wire — the regime
+// where single-flight coalescing pays: overlapping windows attach as
+// waiters to one in-flight fill instead of each paying the wire again.
+//
+// Three views:
+//   1. stream-count sweep (1..8), full overlap, coalescing on vs off —
+//      aggregate MBps, speedup, merged fills, wire bytes actually moved;
+//   2. overlap arm at 4 streams — fully-overlapping vs disjoint striped
+//      windows (striped streams share nothing, so hits collapse to ~0 and
+//      the stage must not slow them down);
+//   3. batched-submission window sweep (0/20/100 µs) on striped streams —
+//      concurrent misses merge into fewer, larger disk submissions.
+//
+// Every stream verifies its bytes against the deterministic file content;
+// nothing below hard-codes a merge: hit/miss counts and wire bytes are
+// read back from the daemon's stats snapshot.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common.h"
+#include "core/vread_daemon.h"
+#include "hdfs/dfs_client.h"
+#include "mem/buffer.h"
+#include "sim/sync.h"
+#include "sim/time.h"
+
+namespace vread::bench {
+namespace {
+
+constexpr std::uint64_t kFileBytes = 12ULL * 1024 * 1024;
+constexpr std::uint64_t kSeed = 77;
+constexpr std::uint64_t kChunk = 2ULL * 1024 * 1024;
+constexpr std::size_t kRounds = 2;
+
+// One re-read stream on its own client VM: walks [start, start+len) of
+// "/data" in kChunk preads, `rounds` full passes, verifying every chunk
+// against the deterministic contents (free function: spawned coroutines
+// must not be lambdas).
+sim::Task overlap_stream(Cluster* c, std::string vm, std::uint64_t start,
+                         std::uint64_t len, std::size_t rounds, bool* ok,
+                         sim::Latch* done) {
+  std::unique_ptr<hdfs::DfsInputStream> in;
+  co_await c->client(vm)->open("/data", in);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::uint64_t off = 0;
+    while (off < len) {
+      const std::uint64_t n = std::min(kChunk, len - off);
+      mem::Buffer b;
+      co_await in->pread(start + off, n, b);
+      if (b.size() != n || b.checksum() !=
+                               mem::Buffer::deterministic(kSeed, start + off, n)
+                                   .checksum()) {
+        *ok = false;
+      }
+      off += n;
+    }
+  }
+  co_await in->close();
+  done->count_down();
+}
+
+sim::Task spawn_streams(Cluster* c,
+                        const std::vector<std::pair<std::uint64_t, std::uint64_t>>& w,
+                        std::size_t rounds, bool* ok) {
+  sim::Latch done(c->sim(), w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    c->sim().spawn(overlap_stream(c, "c" + std::to_string(i + 1), w[i].first,
+                                  w[i].second, rounds, ok, &done));
+  }
+  co_await done.wait();
+}
+
+struct CoalesceOutcome {
+  double mbps = 0.0;          // total verified bytes / elapsed sim time
+  std::uint64_t hits = 0;     // fills joined as a waiter (requesting daemon)
+  std::uint64_t misses = 0;   // fills issued as leader
+  double wire_mb = 0.0;       // daemon-to-daemon bytes actually moved
+  std::uint64_t batches = 0;  // data-host disk submissions
+  bool ok = true;
+};
+
+// `windows` lists (start, len) per stream; every stream re-reads its
+// window kRounds times. `local` places the only replica next to the
+// clients on host1 (shortcut path, fills hit host1's disk); otherwise it
+// lives on host2 and every byte crosses the daemon-to-daemon wire.
+CoalesceOutcome run_streams(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& windows,
+    bool coalesce_on, sim::SimTime batch_window, bool local = false) {
+  ClusterConfig cfg;
+  cfg.block_size = 4ULL * 1024 * 1024;
+  cfg.cores_per_host = 8;
+  // A 2.5 Gbps tenant-capped cloud uplink (vs the 10 Gbps testbed LAN):
+  // one stream fits comfortably, but duplicate transfers serialize on the
+  // sender NIC — the contention single-flight coalescing removes.
+  cfg.link.bw_gbps = 2.5;
+  Cluster c(cfg);
+  c.add_host("host1");
+  c.add_host("host2");
+  c.add_vm("host1", "nn");
+  c.create_namenode("nn");
+  const std::string dn = local ? "datanode1" : "datanode2";
+  c.add_datanode(local ? "host1" : "host2", dn);
+  // One client VM per stream: each stream's guest-side copies run on its
+  // own vCPU, so the shared stage left is the host1 daemon + the wire —
+  // the cross-VM fan-out point the coalescing stage fronts.
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const std::string vm = "c" + std::to_string(i + 1);
+    c.add_vm("host1", vm);
+    c.add_client(vm);
+  }
+  c.preload_file("/data", kFileBytes, kSeed, {{dn}});
+  core::DaemonConfig dc;
+  dc.workers = 4;  // streams must overlap in service for windows to merge
+  // TCP transport: the remote leg costs real per-byte CPU (unlike RDMA,
+  // where the NIC does the DMA), so the wire is the contended resource
+  // coalescing relieves — the regime the stage is built for.
+  dc.transport = core::Transport::kTcp;
+  dc.coalesce.enabled = coalesce_on;
+  dc.coalesce.batch_window = batch_window;
+  c.enable_vread(dc);
+  c.drop_all_caches();
+
+  CoalesceOutcome r;
+  std::uint64_t bytes = 0;
+  for (const auto& [start, len] : windows) bytes += len * kRounds;
+  const sim::SimTime t0 = c.sim().now();
+  c.run_job(spawn_streams(&c, windows, kRounds, &r.ok));
+  const double secs = sim::to_seconds(c.sim().now() - t0);
+  r.mbps = secs > 0 ? static_cast<double>(bytes) / 1e6 / secs : 0.0;
+  // Coalescing sits on the requesting daemon (host1); the batched disk
+  // submissions happen where the replica lives.
+  const core::DaemonStats s1 = c.daemon("host1")->stats_snapshot();
+  r.hits = s1.coalesce_hits;
+  r.misses = s1.coalesce_misses;
+  for (const auto& p : s1.peers) r.wire_mb += static_cast<double>(p.bytes) / 1e6;
+  r.batches =
+      c.daemon(local ? "host1" : "host2")->stats_snapshot().disk_batches;
+  return r;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> full_overlap(std::size_t n) {
+  return std::vector<std::pair<std::uint64_t, std::uint64_t>>(n, {0, kFileBytes});
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> striped(std::size_t n) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> w;
+  const std::uint64_t stripe = kFileBytes / n;
+  for (std::size_t i = 0; i < n; ++i) w.emplace_back(i * stripe, stripe);
+  return w;
+}
+
+}  // namespace
+}  // namespace vread::bench
+
+int main(int argc, char** argv) {
+  using namespace vread::bench;
+  vread::metrics::print_banner(
+      "Ablation: cross-VM request coalescing",
+      "single-flight fills, wire-byte dedup, batched disk submission");
+  BenchReport report("ablation_coalesce");
+  report.param("file_bytes", kFileBytes)
+      .param("chunk_bytes", kChunk)
+      .param("rounds", static_cast<std::uint64_t>(kRounds))
+      .param("workers", static_cast<std::uint64_t>(4));
+
+  bool all_ok = true;
+  {
+    std::cout << "fully-overlapping remote re-read streams, coalescing on vs off:\n";
+    vread::metrics::TablePrinter t({"streams", "off (MBps)", "on (MBps)", "speedup",
+                                    "merged fills", "wire off (MB)", "wire on (MB)"});
+    for (std::size_t n : {1UL, 2UL, 4UL, 8UL}) {
+      CoalesceOutcome off = run_streams(full_overlap(n), false, 0);
+      CoalesceOutcome on = run_streams(full_overlap(n), true, 0);
+      all_ok = all_ok && off.ok && on.ok;
+      const double speedup = off.mbps > 0 ? on.mbps / off.mbps : 0.0;
+      t.add_row({std::to_string(n), vread::metrics::Cell(off.mbps),
+                 vread::metrics::Cell(on.mbps), vread::metrics::Cell(speedup),
+                 std::to_string(on.hits), vread::metrics::Cell(off.wire_mb),
+                 vread::metrics::Cell(on.wire_mb)});
+      const std::string key = std::to_string(n) + "streams";
+      report.metric("aggregate_mbps_on_" + key, on.mbps, "MBps", "higher");
+      report.metric("aggregate_mbps_off_" + key, off.mbps, "MBps", "higher");
+      report.metric("speedup_" + key, speedup, "x", "higher",
+                    n >= 4 ? 1.5 : std::nan(""));
+    }
+    t.print();
+    std::cout << "\n";
+  }
+  {
+    std::cout << "overlap arm (4 streams, coalescing on):\n";
+    vread::metrics::TablePrinter t(
+        {"overlap", "MBps", "merged fills", "leader fills", "wire (MB)"});
+    CoalesceOutcome full = run_streams(full_overlap(4), true, 0);
+    CoalesceOutcome none = run_streams(striped(4), true, 0);
+    all_ok = all_ok && full.ok && none.ok;
+    t.add_row({"full", vread::metrics::Cell(full.mbps), std::to_string(full.hits),
+               std::to_string(full.misses), vread::metrics::Cell(full.wire_mb)});
+    t.add_row({"disjoint", vread::metrics::Cell(none.mbps), std::to_string(none.hits),
+               std::to_string(none.misses), vread::metrics::Cell(none.wire_mb)});
+    t.print();
+    report.metric("disjoint_mbps_4streams", none.mbps, "MBps", "higher");
+    report.metric("disjoint_merged_fills", static_cast<double>(none.hits), "count",
+                  "lower");
+    std::cout << "\n";
+  }
+  {
+    std::cout << "batched-submission window sweep (4 disjoint co-located "
+                 "streams, on):\n";
+    vread::metrics::TablePrinter t({"window (us)", "MBps", "disk batches"});
+    for (std::int64_t us : {0LL, 20LL, 100LL}) {
+      CoalesceOutcome r =
+          run_streams(striped(4), true, vread::sim::us(us), /*local=*/true);
+      all_ok = all_ok && r.ok;
+      t.add_row({std::to_string(us), vread::metrics::Cell(r.mbps),
+                 std::to_string(r.batches)});
+      report.metric("striped_mbps_window" + std::to_string(us) + "us", r.mbps,
+                    "MBps", "higher");
+      report.metric("disk_batches_window" + std::to_string(us) + "us",
+                    static_cast<double>(r.batches), "count", "lower");
+    }
+    t.print();
+  }
+
+  std::cout << (all_ok ? "\ncontent verified on every stream\n"
+                       : "\nCONTENT MISMATCH\n");
+  std::cout << "Expected shape: with full overlap the on/off speedup grows\n"
+               "with the stream count (>=1.5x at 4 streams) because one wire\n"
+               "transfer fans out to every waiter; disjoint stripes merge\n"
+               "nothing and lose nothing; wider submission windows fold\n"
+               "concurrent misses into fewer disk batches.\n";
+  report.maybe_write(argc, argv);
+  return all_ok ? 0 : 1;
+}

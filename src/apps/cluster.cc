@@ -5,7 +5,7 @@
 namespace vread::apps {
 
 Cluster::Cluster(ClusterConfig config)
-    : config_(config), lan_(sim_, {}) {
+    : config_(config), lan_(sim_, config.link) {
   net_ = std::make_unique<virt::VirtualNetwork>(sim_, lan_, costs_);
 }
 

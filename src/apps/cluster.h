@@ -42,6 +42,7 @@ struct ClusterConfig {
   double freq_ghz = 2.0;        // cpufreq-set value
   sim::SimTime slice = sim::ms(3);
   hw::Disk::Config disk{};      // SSD defaults
+  hw::NetworkLink::Config link{};  // 10 Gbps LAN testbed defaults
   // Scaled-down HDFS block size (paper default 64 MB; benches use smaller
   // files — ratios are preserved, see DESIGN.md scaling note).
   std::uint64_t block_size = 32ULL * 1024 * 1024;

@@ -51,27 +51,32 @@ sim::Task LibVread::open(const std::string& block_name, const std::string& datan
   tr.end(sp);
 }
 
-sim::Task LibVread::read(std::uint64_t vfd, std::uint64_t offset, std::uint64_t len,
-                         mem::Buffer& out, Status& status, trace::Ctx ctx) {
+sim::Task LibVread::read(const hdfs::ReadRequest& req, hdfs::ReadResult& res) {
   auto& tr = trace::tracer();
+  trace::Ctx ctx = req.ctx;
   const trace::SpanId sp =
       tr.begin(ctx, trace::SpanKind::kStage, "vread-read", static_cast<int>(vm_.vcpu_tid()));
   if (sp != 0) ctx = ctx.under(sp);
-  ShmRequest req;
-  req.op = static_cast<int>(VReadOp::kRead);
-  req.vfd = vfd;
-  req.offset = offset;
-  req.len = len;
+  ShmRequest wire;
+  wire.op = static_cast<int>(VReadOp::kRead);
+  wire.vfd = req.vfd;
+  wire.offset = req.offset;
+  wire.len = req.len;
+  wire.tenant = req.tenant;  // empty -> call() stamps the library default
+  wire.coalesce = req.coalesce;
+  wire.readahead = req.readahead;
+  wire.deadline = req.deadline;
+  wire.priority = req.priority;
   ShmResponse resp;
-  co_await call(std::move(req), resp, ctx);
-  status = Status::from_wire(resp.status);
-  if (!status.ok()) {
-    out = mem::Buffer();
+  co_await call(std::move(wire), resp, ctx);
+  res.status = Status::from_wire(resp.status);
+  if (!res.status.ok()) {
+    res.data = mem::Buffer();
     tr.end(sp);
     co_return;
   }
-  out = std::move(resp.data);
-  tr.end(sp, out.size());
+  res.data = std::move(resp.data);
+  tr.end(sp, res.data.size());
 }
 
 sim::Task LibVread::close(std::uint64_t vfd) {
@@ -105,7 +110,14 @@ sim::Task LibVread::vread_read(std::uint64_t vfd, std::uint64_t len, mem::Buffer
     status = Status(StatusCode::kBadFd, "vread_read");
     co_return;
   }
-  co_await read(vfd, it->second, len, out, status);
+  hdfs::ReadRequest rr;
+  rr.vfd = vfd;
+  rr.offset = it->second;
+  rr.len = len;
+  hdfs::ReadResult res;
+  co_await read(rr, res);
+  out = std::move(res.data);
+  status = std::move(res.status);
   if (status.ok()) it->second += out.size();
 }
 

@@ -47,8 +47,11 @@ class LibVread : public hdfs::BlockReader {
   // ---- hdfs::BlockReader (offset-explicit, used by DFSClient) ----
   sim::Task open(const std::string& block_name, const std::string& datanode_id,
                  std::uint64_t& vfd, Status& status, trace::Ctx ctx = {}) override;
-  sim::Task read(std::uint64_t vfd, std::uint64_t offset, std::uint64_t len,
-                 mem::Buffer& out, Status& status, trace::Ctx ctx = {}) override;
+  // Struct-form read (hdfs::ReadRequest carries tenant + coalesce/readahead
+  // hints; they are stamped straight onto the shm request slot). The
+  // positional overload from the base class stays visible as a shim.
+  sim::Task read(const hdfs::ReadRequest& req, hdfs::ReadResult& res) override;
+  using hdfs::BlockReader::read;
   sim::Task close(std::uint64_t vfd) override;
   sim::Task update(const std::string& datanode_id) override;
 

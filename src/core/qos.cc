@@ -20,6 +20,9 @@ QosScheduler::Tenant& QosScheduler::tenant(const std::string& name) {
                                   "Requests admitted to the QoS queue, by tenant");
   t->bytes = &metrics_.counter("vread_tenant_bytes_total", labels,
                                "Payload bytes delivered, by tenant");
+  t->fill_bytes = &metrics_.counter(
+      "vread_tenant_fill_bytes_total", labels,
+      "Byte-share of merged backing-store fills, by tenant");
   t->shed = &metrics_.counter("vread_tenant_shed_total", labels,
                               "Requests shed by admission control, by tenant");
   t->depth = &metrics_.gauge("vread_tenant_queue_depth", labels,
@@ -99,6 +102,10 @@ void QosScheduler::account_bytes(const std::string& tenant_name, std::uint64_t n
   tenant(tenant_name).bytes->inc(n);
 }
 
+void QosScheduler::charge_fill(const std::string& tenant_name, std::uint64_t n) {
+  tenant(tenant_name).fill_bytes->inc(n);
+}
+
 std::uint64_t QosScheduler::queued(const std::string& tenant_name) const {
   auto it = tenants_.find(tenant_name);
   return it == tenants_.end() ? 0 : it->second->queue.size();
@@ -114,6 +121,11 @@ std::uint64_t QosScheduler::bytes(const std::string& tenant_name) const {
   return it == tenants_.end() ? 0 : it->second->bytes->value();
 }
 
+std::uint64_t QosScheduler::fill_bytes(const std::string& tenant_name) const {
+  auto it = tenants_.find(tenant_name);
+  return it == tenants_.end() ? 0 : it->second->fill_bytes->value();
+}
+
 std::vector<QosTenantStats> QosScheduler::stats() const {
   std::vector<QosTenantStats> out;
   for (const auto& [name, t] : tenants_) {
@@ -122,6 +134,7 @@ std::vector<QosTenantStats> QosScheduler::stats() const {
     s.weight = t->weight;
     s.requests = t->requests->value();
     s.bytes = t->bytes->value();
+    s.fill_bytes = t->fill_bytes->value();
     s.shed = t->shed->value();
     s.queued = t->queue.size();
     s.queue_high = t->depth->high();

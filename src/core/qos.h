@@ -90,6 +90,7 @@ struct QosTenantStats {
   double weight = 1.0;
   std::uint64_t requests = 0;  // admitted
   std::uint64_t bytes = 0;     // payload bytes delivered
+  std::uint64_t fill_bytes = 0; // byte-share of merged backing-store fills
   std::uint64_t shed = 0;      // rejected by admission control
   std::uint64_t queued = 0;    // currently waiting for a worker
   std::int64_t queue_high = 0; // deepest the queue ever got
@@ -121,9 +122,18 @@ class QosScheduler {
   // paths as chunks land in the ring).
   void account_bytes(const std::string& tenant, std::uint64_t n);
 
+  // Backing-store cost of a merged fill, attributed to `tenant`. The
+  // coalescing leader splits the fill's disk/wire bytes across every
+  // tenant that shared it (CoalesceMap::Fill::tenants), so per-tenant
+  // charges always sum to the bytes the backing store actually served —
+  // fairness is preserved under merging instead of billing the leader
+  // for everybody's fill.
+  void charge_fill(const std::string& tenant, std::uint64_t n);
+
   std::uint64_t queued(const std::string& tenant) const;
   std::uint64_t shed(const std::string& tenant) const;
   std::uint64_t bytes(const std::string& tenant) const;
+  std::uint64_t fill_bytes(const std::string& tenant) const;
   const QosConfig& config() const { return config_; }
   std::vector<QosTenantStats> stats() const;
 
@@ -136,6 +146,7 @@ class QosScheduler {
     std::deque<Item> queue;
     metrics::Counter* requests = nullptr;
     metrics::Counter* bytes = nullptr;
+    metrics::Counter* fill_bytes = nullptr;
     metrics::Counter* shed = nullptr;
     metrics::Gauge* depth = nullptr;
   };

@@ -1,5 +1,7 @@
 #include "core/vread_daemon.h"
 
+#include <stdexcept>
+
 #include "fault/fault.h"
 
 namespace vread::core {
@@ -17,6 +19,48 @@ std::uint64_t cache_key(const fs::DiskImage& image, std::uint32_t inode) {
 // Control-message sizes on the wire (request/response headers).
 constexpr std::uint64_t kCtrlBytes = 96;
 }  // namespace
+
+Status DaemonConfig::Validate() const {
+  auto bad = [](const std::string& detail) {
+    return Status(StatusCode::kConfig, detail);
+  };
+  if (workers == 0) {
+    return bad("workers must be >= 1 (a daemon with no worker threads can never serve)");
+  }
+  if (shm_max_outstanding == 0) {
+    return bad("shm_max_outstanding must be >= 1 (a zero slot budget deadlocks every call)");
+  }
+  // One shm slot (hw::CostModel::shm_slot_size, paper §4) is the smallest
+  // payload unit the ring moves; a cache smaller than that can never hold
+  // a useful entry.
+  constexpr std::uint64_t kShmSlotBytes = 4 * 1024;
+  if (cache_bytes > 0 && cache_bytes < kShmSlotBytes) {
+    return bad("cache_bytes smaller than one shm slot (" +
+               std::to_string(kShmSlotBytes) +
+               " bytes) can never hold an entry; use 0 to disable the cache");
+  }
+  if (coalesce.enabled && coalesce.batch_max > shm_max_outstanding) {
+    return bad("coalesce.batch_max (" + std::to_string(coalesce.batch_max) +
+               ") exceeds shm_max_outstanding (" +
+               std::to_string(shm_max_outstanding) +
+               "): the ring can never put that many fills in flight, so the "
+               "batch window would only ever seal on its timer");
+  }
+  if (qos.enabled) {
+    if (qos.quantum_bytes == 0) {
+      return bad("qos.quantum_bytes must be > 0 (a zero quantum starves the DRR ring)");
+    }
+    if (qos.default_weight <= 0.0) {
+      return bad("qos.default_weight must be > 0");
+    }
+    for (const auto& [tenant, w] : qos.weights) {
+      if (w <= 0.0) {
+        return bad("qos.weights[" + tenant + "] must be > 0 (zero-weight tenants starve)");
+      }
+    }
+  }
+  return Status::Ok();
+}
 
 VReadDaemon::VReadDaemon(virt::Host& host, DaemonConfig config)
     : host_(host),
@@ -63,11 +107,28 @@ VReadDaemon::VReadDaemon(virt::Host& host, DaemonConfig config)
       read_latency_(metrics_.histogram("vread_daemon_read_latency_ns",
                                        {{"host", host.name()}},
                                        "kRead service time, dequeue to last chunk")) {
+  if (Status st = config_.Validate(); !st.ok()) {
+    throw std::invalid_argument("vread daemon config: " + st.to_string());
+  }
   if (config_.qos.enabled) {
     qos_ = std::make_unique<QosScheduler>(host.sim(), config_.qos, host.name());
     for (const auto& [tenant, cap] : config_.qos.cache_bytes) {
       cache_.set_tenant_cap(tenant, cap);
     }
+  }
+  if (config_.coalesce.enabled) {
+    coalesce_ = std::make_unique<CoalesceMap>(host.sim(), host.name());
+    // Batch at most as many fills as the shm ring can put in flight at
+    // once (auto), and never seal on a member count of zero.
+    std::size_t batch_max = config_.coalesce.batch_max;
+    if (batch_max == 0) {
+      batch_max = std::min<std::size_t>(8, config_.shm_max_outstanding);
+    }
+    host_.disk().configure_batching(
+        {batch_max, config_.coalesce.batch_window},
+        [this](std::size_t requests, std::uint64_t bytes) {
+          coalesce_->observe_batch(requests, bytes);
+        });
   }
 }
 
@@ -89,6 +150,13 @@ DaemonStats VReadDaemon::stats_snapshot() const {
   s.cache_hits = cache_.hits();
   s.cache_misses = cache_.misses();
   s.cache_evictions = cache_.evictions();
+  if (coalesce_) {
+    s.coalesce_hits = coalesce_->hits();
+    s.coalesce_misses = coalesce_->misses();
+    s.coalesce_failed_fills = coalesce_->failed_fills();
+    s.coalesce_fill_bytes = coalesce_->fill_bytes();
+    s.disk_batches = host_.disk().batch_count();
+  }
   s.open_descriptors = descriptors_.size();
   s.local_mounts = local_mounts_.size();
   s.remote_peers = remote_peers_.size();
@@ -316,7 +384,7 @@ sim::Task VReadDaemon::handle(virt::ShmChannel& channel, hw::ThreadId tid,
       DescriptorPtr d = it->second;
       const sim::SimTime t0 = host_.sim().now();
       if (d->remote) {
-        co_await stream_remote_read(channel, tid, req, *d);
+        co_await serve_remote_read(channel, tid, req, std::move(d));
       } else {
         co_await stream_local_read(channel, tid, req, *d);
       }
@@ -419,7 +487,7 @@ sim::Task VReadDaemon::readahead_task(std::shared_ptr<RaState> ra,
     const std::uint64_t missing = host_.page_cache().miss_bytes(key, pos, n);
     if (missing > 0) {
       const sim::SimTime d0 = host_.sim().now();
-      co_await host_.disk().read(missing);
+      co_await host_.disk().read_batched(missing);
       if (tr.enabled())
         tr.record(ctx, trace::SpanKind::kDisk, "disk-read",
                   tr.track(host_.name() + " disk", host_.name()), d0, host_.sim().now(),
@@ -434,7 +502,8 @@ sim::Task VReadDaemon::readahead_task(std::shared_ptr<RaState> ra,
 
 sim::Task VReadDaemon::ensure_resident(hw::ThreadId tid, Descriptor& d,
                                        std::uint64_t offset, std::uint64_t n,
-                                       trace::Ctx ctx) {
+                                       trace::Ctx ctx, bool allow_readahead,
+                                       std::uint64_t* disk_bytes) {
   const hw::CostModel& cm = host_.costs();
   auto& tr = trace::tracer();
   const std::uint64_t key = cache_key(*d.mount->image(), d.inode.id);
@@ -452,7 +521,10 @@ sim::Task VReadDaemon::ensure_resident(hw::ThreadId tid, Descriptor& d,
   }
   RaState& ra = *d.ra;
   const std::uint64_t end = offset + n;
-  const bool sequential = offset == d.seq_pos || end <= ra.done;
+  // The per-request hint forces the random-access arm: fetch exactly what
+  // was asked for, no window fill, no async kick (ReadRequest::readahead).
+  const bool sequential =
+      allow_readahead && (offset == d.seq_pos || end <= ra.done);
 
   // Block-layer submit work for this request.
   co_await host_.cpu().consume(tid, cm.blk_per_request + cm.blk_per_page * cm.pages(n),
@@ -475,7 +547,8 @@ sim::Task VReadDaemon::ensure_resident(hw::ThreadId tid, Descriptor& d,
           host_.page_cache().miss_bytes(key, offset, window_end - offset);
       if (missing > 0) {
         const sim::SimTime d0 = host_.sim().now();
-        co_await host_.disk().read(missing);
+        co_await host_.disk().read_batched(missing);
+        if (disk_bytes) *disk_bytes += missing;
         if (tr.enabled())
           tr.record(ctx, trace::SpanKind::kDisk, "disk-read",
                     tr.track(host_.name() + " disk", host_.name()), d0, host_.sim().now(),
@@ -497,7 +570,8 @@ sim::Task VReadDaemon::ensure_resident(hw::ThreadId tid, Descriptor& d,
     const std::uint64_t missing = host_.page_cache().miss_bytes(key, offset, n);
     if (missing > 0) {
       const sim::SimTime d0 = host_.sim().now();
-      co_await host_.disk().read(missing);
+      co_await host_.disk().read_batched(missing);
+      if (disk_bytes) *disk_bytes += missing;
       if (tr.enabled())
         tr.record(ctx, trace::SpanKind::kDisk, "disk-read",
                   tr.track(host_.name() + " disk", host_.name()), d0, host_.sim().now(),
@@ -510,7 +584,8 @@ sim::Task VReadDaemon::ensure_resident(hw::ThreadId tid, Descriptor& d,
 
 sim::Task VReadDaemon::local_read(hw::ThreadId tid, Descriptor& d, std::uint64_t offset,
                                   std::uint64_t len, mem::Buffer& out, Status& status,
-                                  const std::string& tenant, trace::Ctx ctx) {
+                                  const std::string& tenant, trace::Ctx ctx,
+                                  bool allow_coalesce, bool allow_readahead) {
   const hw::CostModel& cm = host_.costs();
   auto& tr = trace::tracer();
   if (offset >= d.inode.size) {
@@ -540,6 +615,33 @@ sim::Task VReadDaemon::local_read(hw::ThreadId tid, Descriptor& d, std::uint64_t
     }
   }
 
+  // Cross-VM coalescing (§12): a cache-missing window already being filled
+  // for someone else is joined as a waiter instead of refilled. Skipped in
+  // direct mode — its contract is every byte off the device.
+  CoalesceMap::FillPtr fill;
+  if (coalesce_ && allow_coalesce && !config_.direct_read) {
+    if (CoalesceMap::FillPtr f = coalesce_->attach(d.dn_id, d.block_name, offset, n, tenant)) {
+      tr.instant(ctx, trace::SpanKind::kCoalesce, "coalesce-attach",
+                 static_cast<int>(tid));
+      const trace::SpanId wsp = tr.begin(ctx, trace::SpanKind::kSyncWait,
+                                         "coalesce-wait", static_cast<int>(tid));
+      co_await f->done.wait();
+      tr.end(wsp, n);
+      if (!f->status.ok()) {
+        status = f->status;
+        co_return;
+      }
+      out = f->data.slice(offset - f->offset, n);
+      d.seq_pos = offset + n;
+      status = Status::Ok();
+      reads_.inc();
+      bytes_read_.inc(out.size());
+      co_return;
+    }
+    fill = coalesce_->begin(d.dn_id, d.block_name, offset, n, tenant);
+  }
+
+  std::uint64_t fill_disk_bytes = 0;
   if (config_.direct_read) {
     // §6 alternative: raw image access. Per-page address translation, and
     // no host page cache — every byte comes off the device.
@@ -554,7 +656,8 @@ sim::Task VReadDaemon::local_read(hw::ThreadId tid, Descriptor& d, std::uint64_t
     co_await host_.cpu().consume(tid, cm.copy_cost(n), CycleCategory::kLoopDevice, ctx);
   } else {
     // Host file-system read through the loop device (with readahead).
-    co_await ensure_resident(tid, d, offset, n, ctx);
+    co_await ensure_resident(tid, d, offset, n, ctx, allow_readahead,
+                             &fill_disk_bytes);
     // Loop-device traversal + the page-cache -> daemon-buffer copy. Not a
     // kCopy span: the paper's copy arithmetic counts only the two standing
     // ring copies on the vRead path (see DESIGN.md §8).
@@ -566,6 +669,29 @@ sim::Task VReadDaemon::local_read(hw::ThreadId tid, Descriptor& d, std::uint64_t
   status = Status::Ok();
   reads_.inc();
   bytes_read_.inc(out.size());
+  if (fill) {
+    // Fan the window out to every waiter and split the disk cost across
+    // the tenants that shared the fill.
+    if (fill->waiters > 0) {
+      tr.instant(ctx, trace::SpanKind::kCoalesce, "coalesce-fanout",
+                 static_cast<int>(tid));
+    }
+    coalesce_->complete(fill, out, status, fill_disk_bytes);
+    charge_fill_split(*fill);
+  }
+}
+
+void VReadDaemon::charge_fill_split(const CoalesceMap::Fill& fill) {
+  if (!qos_ || fill.fill_bytes == 0 || !fill.status.ok()) return;
+  const auto& tenants = fill.tenants;
+  const std::uint64_t share = fill.fill_bytes / tenants.size();
+  // The integer remainder lands on the leader so per-tenant charges always
+  // sum exactly to the bytes the backing store served.
+  qos_->charge_fill(tenants.front(),
+                    fill.fill_bytes - share * (tenants.size() - 1));
+  for (std::size_t i = 1; i < tenants.size(); ++i) {
+    qos_->charge_fill(tenants[i], share);
+  }
 }
 
 sim::Task VReadDaemon::local_refresh(hw::ThreadId tid, const std::string& dn_id) {
@@ -678,7 +804,8 @@ sim::Task VReadDaemon::stream_local_read(virt::ShmChannel& channel, hw::ThreadId
     const std::uint64_t n = std::min(kStreamChunk, end - off);
     mem::Buffer buf;
     Status status;
-    co_await local_read(tid, d, off, n, buf, status, req.tenant, ctx);
+    co_await local_read(tid, d, off, n, buf, status, req.tenant, ctx,
+                        req.coalesce, req.readahead);
     const std::int64_t wire =
         status.ok() ? static_cast<std::int64_t>(buf.size()) : status.to_wire();
     const bool last = off + n >= end;
@@ -713,8 +840,56 @@ sim::Task remote_wire_hop(sim::Simulation* sim, hw::Lan* lan, hw::HostId src,
 }
 }  // namespace
 
+sim::Task VReadDaemon::serve_remote_read(virt::ShmChannel& channel, hw::ThreadId tid,
+                                         const virt::ShmRequest& req, DescriptorPtr d) {
+  auto& tr = trace::tracer();
+  if (coalesce_ && req.coalesce) {
+    // Waiter path: a fill of this window is already crossing the wire;
+    // sleep on it and serve the slice from the fanned-out payload instead
+    // of paying a second daemon-to-daemon traversal.
+    if (CoalesceMap::FillPtr f = coalesce_->attach(d->dn_id, d->block_name,
+                                                   req.offset, req.len, req.tenant)) {
+      tr.instant(req.ctx, trace::SpanKind::kCoalesce, "coalesce-attach",
+                 static_cast<int>(tid));
+      const trace::SpanId wsp = tr.begin(req.ctx, trace::SpanKind::kSyncWait,
+                                         "coalesce-wait", static_cast<int>(tid));
+      co_await f->done.wait();
+      tr.end(wsp, req.len);
+      if (!f->status.ok()) {
+        co_await channel.respond_part(tid, req.id, f->status.to_wire(), req.vfd,
+                                      mem::Buffer(), /*last=*/true,
+                                      /*charge_copy=*/true, req.ctx);
+        co_return;
+      }
+      // The leader's payload stops at the peer inode's end; a waiter window
+      // starting past that would have gotten RANGE from the peer too.
+      const std::uint64_t start = req.offset - f->offset;
+      if (start >= f->data.size()) {
+        co_await channel.respond_part(tid, req.id, kVReadErrRange, req.vfd,
+                                      mem::Buffer(), /*last=*/true,
+                                      /*charge_copy=*/true, req.ctx);
+        co_return;
+      }
+      mem::Buffer out = f->data.slice(start, std::min<std::uint64_t>(
+                                                 req.len, f->data.size() - start));
+      if (qos_) qos_->account_bytes(req.tenant, out.size());
+      const std::int64_t wire = static_cast<std::int64_t>(out.size());
+      co_await channel.respond_part(tid, req.id, wire, req.vfd, std::move(out),
+                                    /*last=*/true, /*charge_copy=*/true, req.ctx);
+      remote_reads_.inc();
+      co_return;
+    }
+    CoalesceMap::FillPtr fill =
+        coalesce_->begin(d->dn_id, d->block_name, req.offset, req.len, req.tenant);
+    co_await stream_remote_read(channel, tid, req, *d, fill);
+    co_return;
+  }
+  co_await stream_remote_read(channel, tid, req, *d, nullptr);
+}
+
 sim::Task VReadDaemon::stream_remote_read(virt::ShmChannel& channel, hw::ThreadId tid,
-                                          const virt::ShmRequest& req, Descriptor& d) {
+                                          const virt::ShmRequest& req, Descriptor& d,
+                                          CoalesceMap::FillPtr fill) {
   const hw::CostModel& cm = host_.costs();
   const trace::Ctx ctx = req.ctx;
   VReadDaemon* peer = d.peer;
@@ -734,6 +909,12 @@ sim::Task VReadDaemon::stream_remote_read(virt::ShmChannel& channel, hw::ThreadI
   if (fault::registry().should_fire(fault::points::kPeerDown)) {
     // Peer unreachable mid-stream: report it so the guest library can
     // retry (bounded) and ultimately degrade to the vanilla socket path.
+    // The failure fans out to every coalesced waiter; nobody gets bytes,
+    // and the next arrival retries single-flight.
+    if (fill) {
+      coalesce_->complete(fill, mem::Buffer(),
+                          Status(StatusCode::kPeerDown, d.dn_id), 0);
+    }
     co_await channel.respond_part(tid, req.id, kVReadErrPeerDown, req.vfd,
                                   mem::Buffer(), /*last=*/true,
                                   /*charge_copy=*/true, ctx);
@@ -748,10 +929,14 @@ sim::Task VReadDaemon::stream_remote_read(virt::ShmChannel& channel, hw::ThreadI
   // The peer-side cache insert is attributed to the requesting tenant (its
   // identity crosses the wire in the control message).
   const std::string tenant = req.tenant;
+  // Per-request hints cross the wire in the control message: the peer's
+  // local path honors the same coalesce/readahead intent as a local read.
+  const bool coalesce_hint = req.coalesce;
+  const bool readahead_hint = req.readahead;
   sim::Simulation* sim = &host_.sim();
   std::function<sim::Task(hw::ThreadId)> stream_job =
       [peer, peer_vfd, offset, len, transport, &arrivals, sim, wire_name, tenant,
-       ctx](hw::ThreadId ptid) -> sim::Task {
+       coalesce_hint, readahead_hint, ctx](hw::ThreadId ptid) -> sim::Task {
     const hw::CostModel& pcm = peer->host_.costs();
     auto& tr = trace::tracer();
     auto it = peer->descriptors_.find(peer_vfd);
@@ -771,7 +956,8 @@ sim::Task VReadDaemon::stream_remote_read(virt::ShmChannel& channel, hw::ThreadI
       const std::uint64_t n = std::min(kStreamChunk, end - off);
       mem::Buffer buf;
       Status status;
-      co_await peer->local_read(ptid, *pd, off, n, buf, status, tenant, ctx);
+      co_await peer->local_read(ptid, *pd, off, n, buf, status, tenant, ctx,
+                                coalesce_hint, readahead_hint);
       if (transport == Transport::kRdma) {
         // Active push: the datanode-side daemon posts the RDMA write, so
         // its verb cost is higher than the client side's (paper Fig. 7).
@@ -807,9 +993,16 @@ sim::Task VReadDaemon::stream_remote_read(virt::ShmChannel& channel, hw::ThreadI
 
   auto& tr = trace::tracer();
   metrics::Counter& from_peer = peer_bytes(peer->host_.name(), transport);
+  // Coalescing leader: retain the payload as it lands so completion can
+  // fan the whole window out to every attached waiter in one shot.
+  mem::Buffer collected;
   for (;;) {
     RemoteChunk chunk = co_await arrivals.recv();
     if (chunk.status < 0) {
+      if (fill) {
+        coalesce_->complete(fill, mem::Buffer(),
+                            Status::from_wire(chunk.status, d.block_name), 0);
+      }
       co_await channel.respond_part(tid, req.id, chunk.status, req.vfd,
                                     mem::Buffer(), /*last=*/true,
                                     /*charge_copy=*/true, ctx);
@@ -817,6 +1010,7 @@ sim::Task VReadDaemon::stream_remote_read(virt::ShmChannel& channel, hw::ThreadI
     }
     const std::uint64_t n = chunk.data.size();
     from_peer.inc(n);
+    if (fill) collected.append(chunk.data);
     bool zero_copy = false;
     if (transport == Transport::kRdma) {
       // One CQE; the payload already sits in the registered ring memory.
@@ -834,6 +1028,17 @@ sim::Task VReadDaemon::stream_remote_read(virt::ShmChannel& channel, hw::ThreadI
     }
     if (qos_) qos_->account_bytes(req.tenant, n);
     const bool last = chunk.last;
+    if (fill && last) {
+      // Complete before streaming the final chunk into our own ring:
+      // waiters wake on the fill, not on the leader's ring flow control.
+      const std::uint64_t wire_bytes = collected.size();
+      if (fill->waiters > 0) {
+        tr.instant(ctx, trace::SpanKind::kCoalesce, "coalesce-fanout",
+                   static_cast<int>(tid));
+      }
+      coalesce_->complete(fill, std::move(collected), Status::Ok(), wire_bytes);
+      charge_fill_split(*fill);
+    }
     co_await channel.respond_part(tid, req.id, chunk.status, req.vfd,
                                   std::move(chunk.data), last, !zero_copy, ctx);
     if (last) break;

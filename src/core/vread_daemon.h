@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/block_cache.h"
+#include "core/coalesce.h"
 #include "core/qos.h"
 #include "fault/status.h"
 #include "fs/loop_mount.h"
@@ -78,6 +79,12 @@ struct DaemonStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  // Cross-VM request coalescing (§12); zero when the stage is disabled.
+  std::uint64_t coalesce_hits = 0;         // reads attached to an in-flight fill
+  std::uint64_t coalesce_misses = 0;       // reads that led a new fill
+  std::uint64_t coalesce_failed_fills = 0; // failures fanned out to waiters
+  std::uint64_t coalesce_fill_bytes = 0;   // backing-store bytes served by fills
+  std::uint64_t disk_batches = 0;          // sealed disk submission batches
   // Levels (instantaneous).
   std::size_t open_descriptors = 0;
   std::size_t local_mounts = 0;
@@ -144,6 +151,29 @@ struct DaemonConfig {
   // caps and kOverloaded shedding. Enabled by default; defaults reduce to
   // FIFO for a single tenant and never shed.
   QosConfig qos{};
+
+  // Cross-VM request coalescing (DESIGN.md §12): single-flight merging of
+  // overlapping (datanode, block, range) fills, with batched disk
+  // submission windows. Defaults keep solo workloads byte- and
+  // time-identical: a window of 0 merges only submissions issued at the
+  // same simulated instant.
+  struct CoalesceConfig {
+    bool enabled = true;
+    // Disk submission batch seals after this many fill reads. 0 = auto:
+    // min(8, shm_max_outstanding) — an explicit value larger than the shm
+    // outstanding budget is rejected by Validate(), since the ring could
+    // never put that many fills in flight at once.
+    std::size_t batch_max = 0;
+    // ...or this much simulated time after the batch window opened.
+    sim::SimTime batch_window = 0;
+  };
+  CoalesceConfig coalesce{};
+
+  // Rejects inconsistent knob combinations with a typed kConfig Status
+  // (ok = usable). VReadDaemon's constructor throws std::invalid_argument
+  // on a non-ok validation, so a daemon can never run on nonsense tuning;
+  // vreadsim and the test beds call it up front for a friendlier report.
+  Status Validate() const;
 };
 
 class VReadDaemon {
@@ -230,6 +260,10 @@ class VReadDaemon {
   QosScheduler* qos() { return qos_.get(); }
   const QosScheduler* qos() const { return qos_.get(); }
 
+  // Coalescing stage (§12); nullptr when config_.coalesce.enabled is false.
+  CoalesceMap* coalescer() { return coalesce_.get(); }
+  const CoalesceMap* coalescer() const { return coalesce_.get(); }
+
   DaemonStats stats_snapshot() const;
 
  private:
@@ -297,16 +331,27 @@ class VReadDaemon {
   // pieces so the disk, the ring and the guest's copy-out pipeline.
   sim::Task stream_local_read(virt::ShmChannel& channel, hw::ThreadId tid,
                               const virt::ShmRequest& req, Descriptor& d);
+  // Remote entry point: attaches the request to an in-flight coalesced
+  // fill of the same window when possible (§12), else leads one through
+  // stream_remote_read.
+  sim::Task serve_remote_read(virt::ShmChannel& channel, hw::ThreadId tid,
+                              const virt::ShmRequest& req, DescriptorPtr d);
+  // `fill`, when set, is the coalesced fill this stream leads: payload
+  // chunks are accumulated and fanned out to waiters on completion.
   sim::Task stream_remote_read(virt::ShmChannel& channel, hw::ThreadId tid,
-                               const virt::ShmRequest& req, Descriptor& d);
+                               const virt::ShmRequest& req, Descriptor& d,
+                               CoalesceMap::FillPtr fill);
 
   // --- local operations (run on `tid`, a daemon-side thread) ---
   sim::Task local_open(hw::ThreadId tid, const std::string& dn_id,
                        const std::string& block_name, std::uint64_t& vfd,
                        Status& status, trace::Ctx ctx = {});
+  // `allow_coalesce` / `allow_readahead` carry the per-request hints from
+  // ShmRequest (ReadRequest on the guest side) down the local path.
   sim::Task local_read(hw::ThreadId tid, Descriptor& d, std::uint64_t offset,
                        std::uint64_t len, mem::Buffer& out, Status& status,
-                       const std::string& tenant = {}, trace::Ctx ctx = {});
+                       const std::string& tenant = {}, trace::Ctx ctx = {},
+                       bool allow_coalesce = true, bool allow_readahead = true);
   sim::Task local_refresh(hw::ThreadId tid, const std::string& dn_id);
 
   // --- remote (daemon-to-daemon) operations, called on a local worker ---
@@ -330,8 +375,14 @@ class VReadDaemon {
 
   // Ensures [offset, offset+n) of a local descriptor is cache-resident,
   // waiting on / issuing readahead as the access pattern dictates.
+  // `allow_readahead=false` forces the random-access arm (fetch exactly
+  // the request). `disk_bytes`, when non-null, accumulates the device
+  // bytes this call read synchronously — the coalescing leader's
+  // fill-byte accounting (async readahead windows are not attributed).
   sim::Task ensure_resident(hw::ThreadId tid, Descriptor& d, std::uint64_t offset,
-                            std::uint64_t n, trace::Ctx ctx);
+                            std::uint64_t n, trace::Ctx ctx,
+                            bool allow_readahead = true,
+                            std::uint64_t* disk_bytes = nullptr);
   sim::Task readahead_task(std::shared_ptr<RaState> ra, fs::DiskImagePtr image,
                            std::uint64_t key, std::uint64_t begin, std::uint64_t end,
                            trace::Ctx ctx);
@@ -352,6 +403,12 @@ class VReadDaemon {
   // Weighted-DRR dispatch + admission control (§11); created at
   // construction when config_.qos.enabled.
   std::unique_ptr<QosScheduler> qos_;
+  // Single-flight fill merging (§12); created at construction when
+  // config_.coalesce.enabled.
+  std::unique_ptr<CoalesceMap> coalesce_;
+  // Splits a completed fill's backing-store bytes across the tenants that
+  // shared it (remainder to the leader) so charges sum exactly.
+  void charge_fill_split(const CoalesceMap::Fill& fill);
   // Control worker: mount refreshes + serving reads for remote peers.
   std::unique_ptr<hw::WorkerThread> control_;
   std::map<std::uint64_t, DescriptorPtr> descriptors_;

@@ -34,6 +34,7 @@ constexpr std::int64_t kVReadErrTimeout = -5;     // shm request timed out
 constexpr std::int64_t kVReadErrPeerDown = -6;    // remote peer daemon unreachable
 constexpr std::int64_t kVReadErrCorrupt = -7;     // response failed validation
 constexpr std::int64_t kVReadErrOverloaded = -8;  // admission control shed the request
+constexpr std::int64_t kVReadErrConfig = -9;      // daemon rejected its configuration
 
 enum class StatusCode : std::int8_t {
   kOk = 0,
@@ -45,6 +46,7 @@ enum class StatusCode : std::int8_t {
   kPeerDown,    // the remote peer daemon did not answer
   kCorrupt,     // the response failed validation on arrival
   kOverloaded,  // the daemon's QoS admission control shed the request
+  kConfig,      // inconsistent configuration (DaemonConfig::Validate)
   kUnknown,     // unmapped wire value (forward compatibility)
 };
 
@@ -86,6 +88,7 @@ class Status {
         // request instead of queueing it, so a backed-off retry is exactly
         // what the admission controller wants the client to do.
         return StatusCategory::kTransport;
+      case StatusCode::kConfig:
       case StatusCode::kUnknown:
         return StatusCategory::kInternal;
     }
@@ -119,6 +122,7 @@ class Status {
       case StatusCode::kPeerDown: return kVReadErrPeerDown;
       case StatusCode::kCorrupt: return kVReadErrCorrupt;
       case StatusCode::kOverloaded: return kVReadErrOverloaded;
+      case StatusCode::kConfig: return kVReadErrConfig;
       case StatusCode::kUnknown: return kVReadErrNoDatanode;
     }
     return kVReadErrNoDatanode;
@@ -136,6 +140,7 @@ class Status {
       case kVReadErrPeerDown: code = StatusCode::kPeerDown; break;
       case kVReadErrCorrupt: code = StatusCode::kCorrupt; break;
       case kVReadErrOverloaded: code = StatusCode::kOverloaded; break;
+      case kVReadErrConfig: code = StatusCode::kConfig; break;
       default: break;
     }
     return Status(code, std::move(detail));
@@ -152,6 +157,7 @@ class Status {
       case StatusCode::kPeerDown: return "PEER_DOWN";
       case StatusCode::kCorrupt: return "CORRUPT";
       case StatusCode::kOverloaded: return "OVERLOADED";
+      case StatusCode::kConfig: return "CONFIG";
       case StatusCode::kUnknown: return "UNKNOWN";
     }
     return "UNKNOWN";

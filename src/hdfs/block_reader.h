@@ -14,6 +14,7 @@
 #include <string>
 
 #include "fault/status.h"
+#include "hdfs/read_request.h"
 #include "mem/buffer.h"
 #include "sim/task.h"
 #include "trace/tracer.h"
@@ -33,11 +34,29 @@ class BlockReader {
   virtual sim::Task open(const std::string& block_name, const std::string& datanode_id,
                          std::uint64_t& vfd, Status& status, trace::Ctx ctx = {}) = 0;
 
-  // vRead_read: reads up to `len` bytes at `offset` of the block file.
-  // On ok, `out` holds the bytes (possibly clamped at end of block); on
-  // failure `out` is empty and the status says why -> fall back.
-  virtual sim::Task read(std::uint64_t vfd, std::uint64_t offset, std::uint64_t len,
-                         mem::Buffer& out, Status& status, trace::Ctx ctx = {}) = 0;
+  // vRead_read: reads up to `req.len` bytes at `req.offset` of the block
+  // file named by `req.vfd`. On ok, `res.data` holds the bytes (possibly
+  // clamped at end of block); on failure it is empty and `res.status`
+  // says why -> fall back. The request carries every per-read option
+  // (tenant, coalesce/readahead hints, reserved deadline/priority) so new
+  // options never change this signature again.
+  virtual sim::Task read(const ReadRequest& req, ReadResult& res) = 0;
+
+  // Positional compat shim (pre-ReadRequest surface). Subclasses that
+  // override the struct form should `using BlockReader::read;` to keep
+  // this overload visible.
+  sim::Task read(std::uint64_t vfd, std::uint64_t offset, std::uint64_t len,
+                 mem::Buffer& out, Status& status, trace::Ctx ctx = {}) {
+    ReadRequest req;
+    req.vfd = vfd;
+    req.offset = offset;
+    req.len = len;
+    req.ctx = ctx;
+    ReadResult res;
+    co_await read(req, res);
+    out = std::move(res.data);
+    status = std::move(res.status);
+  }
 
   // vRead_close: releases the descriptor.
   virtual sim::Task close(std::uint64_t vfd) = 0;

@@ -216,28 +216,41 @@ void DfsInputStream::drop_stream() {
   }
 }
 
-sim::Task DfsInputStream::read(std::uint64_t len, mem::Buffer& out) {
-  out = mem::Buffer();
-  while (out.size() < len && pos_ < size_) {
+sim::Task DfsInputStream::read(const ReadRequest& req, ReadResult& res) {
+  if (req.offset == ReadRequest::kCurrentPos) {
+    co_await read_sequential(req, res);
+  } else {
+    co_await read_positional(req, res);
+  }
+}
+
+sim::Task DfsInputStream::read_sequential(const ReadRequest& req, ReadResult& res) {
+  res.data = mem::Buffer();
+  res.status = Status::Ok();
+  while (res.data.size() < req.len && pos_ < size_) {
     const BlockInfo* blk = block_at(pos_);
     if (blk == nullptr) break;
     const std::uint64_t off = pos_ - blk->offset_in_file;
-    const std::uint64_t n = std::min(len - out.size(), blk->size - off);
+    const std::uint64_t n = std::min(req.len - res.data.size(), blk->size - off);
     mem::Buffer part;
-    co_await read_block_range(*blk, off, n, part, /*sequential=*/true);
+    co_await read_block_range(*blk, off, n, part, /*sequential=*/true, req);
     pos_ += part.size();
-    out.append(part);
+    res.data.append(part);
     if (part.size() < n) break;
   }
 }
 
-sim::Task DfsInputStream::pread(std::uint64_t position, std::uint64_t len,
-                                mem::Buffer& out) {
+sim::Task DfsInputStream::read_positional(const ReadRequest& req, ReadResult& res) {
   // Algorithm 2: collect the blocks overlapping the range, then read them
   // (vRead descriptor if available, fetchBlocks otherwise). Reads of
-  // distinct blocks are independent, so with pread_parallelism > 1 they
-  // are issued concurrently and reassembled in block order.
-  out = mem::Buffer();
+  // distinct blocks are independent, so with a fan-out > 1 they are
+  // issued concurrently and reassembled in block order.
+  res.data = mem::Buffer();
+  res.status = Status::Ok();
+  const std::uint64_t position = req.offset;
+  const std::uint64_t len = req.len;
+  const std::size_t fanout =
+      req.fanout != 0 ? req.fanout : client_.pread_parallelism_;
   co_await client_.nn_.rpc_from(client_.vm());
   std::vector<BlockInfo> range =
       client_.nn_.get_block_locations(path_, position, len);
@@ -258,11 +271,24 @@ sim::Task DfsInputStream::pread(std::uint64_t position, std::uint64_t len,
     pos += bytes_to_read;
   }
 
-  if (parts.size() <= 1 || client_.pread_parallelism_ <= 1) {
+  if (parts.size() <= 1 || fanout <= 1) {
     for (const Part& p : parts) {
+      // Same per-part retry budget as the fanned-out legs: a transient
+      // failure that slipped past every replica (e.g. chaos-injected
+      // "block missing" on both) gets one fresh attempt before the error
+      // surfaces, with the buffer reset so a retry can never double-
+      // deliver bytes.
       mem::Buffer part;
-      co_await read_block_range(p.blk, p.off, p.n, part, /*sequential=*/false);
-      out.append(part);
+      for (int attempt = 1;; ++attempt) {
+        part = mem::Buffer();
+        try {
+          co_await read_block_range(p.blk, p.off, p.n, part, /*sequential=*/false, req);
+          break;
+        } catch (...) {
+          if (attempt >= kPreadPartAttempts) throw;
+        }
+      }
+      res.data.append(part);
     }
     co_return;
   }
@@ -277,30 +303,33 @@ sim::Task DfsInputStream::pread(std::uint64_t position, std::uint64_t len,
   sim::Simulation& sim = client_.vm().host().sim();
   std::vector<mem::Buffer> bufs(parts.size());
   std::vector<std::exception_ptr> errs(parts.size());
-  sim::Semaphore gate(sim, client_.pread_parallelism_);
+  sim::Semaphore gate(sim, fanout);
   sim::Latch latch(sim, parts.size());
   for (std::size_t i = 0; i < parts.size(); ++i) {
     co_await gate.acquire();
-    sim.spawn(pread_part(parts[i].blk, parts[i].off, parts[i].n, &bufs[i], &errs[i],
-                         &gate, &latch));
+    // `req` lives in our caller's frame, which stays alive until the latch
+    // releases us — safe to hand the legs a pointer.
+    sim.spawn(pread_part(parts[i].blk, parts[i].off, parts[i].n, &req, &bufs[i],
+                         &errs[i], &gate, &latch));
   }
   co_await latch.wait();
   for (const std::exception_ptr& e : errs) {
     if (e) std::rethrow_exception(e);
   }
-  for (mem::Buffer& b : bufs) out.append(b);
+  for (mem::Buffer& b : bufs) res.data.append(b);
 }
 
 sim::Task DfsInputStream::pread_part(BlockInfo blk, std::uint64_t off, std::uint64_t len,
-                                     mem::Buffer* out, std::exception_ptr* err,
-                                     sim::Semaphore* gate, sim::Latch* latch) {
+                                     const ReadRequest* opts, mem::Buffer* out,
+                                     std::exception_ptr* err, sim::Semaphore* gate,
+                                     sim::Latch* latch) {
   for (int attempt = 1; attempt <= kPreadPartAttempts; ++attempt) {
     // Reset both slots before every attempt: a retry after a partial
     // failure must never deliver bytes twice or leave a stale error.
     *out = mem::Buffer();
     *err = nullptr;
     try {
-      co_await read_block_range(blk, off, len, *out, /*sequential=*/false);
+      co_await read_block_range(blk, off, len, *out, /*sequential=*/false, *opts);
       break;
     } catch (...) {
       *err = std::current_exception();
@@ -312,7 +341,7 @@ sim::Task DfsInputStream::pread_part(BlockInfo blk, std::uint64_t off, std::uint
 
 sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t off,
                                            std::uint64_t len, mem::Buffer& out,
-                                           bool sequential) {
+                                           bool sequential, const ReadRequest& opts) {
   DfsClient& c = client_;
   const std::string& dn = c.choose_replica(blk);
   auto& tr = trace::tracer();
@@ -382,8 +411,18 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
   }
 
   if (have_vfd) {
-    Status st;
-    co_await reader->read(vfd, off, len, out, st, ctx);
+    // Struct-form BlockReader read: the per-read options (tenant,
+    // coalesce/readahead hints, reserved deadline/priority) ride along
+    // untouched; only the block coordinates are ours to fill in.
+    ReadRequest rr = opts;
+    rr.vfd = vfd;
+    rr.offset = off;
+    rr.len = len;
+    rr.ctx = ctx;
+    ReadResult rres;
+    co_await reader->read(rr, rres);
+    const Status st = std::move(rres.status);
+    out = std::move(rres.data);
     if (st.ok()) {
       // Lean vRead-side client processing (no protocol framing/checksums).
       const hw::CostModel& cm = c.vm().host().costs();

@@ -262,12 +262,35 @@ class DfsInputStream {
  public:
   DfsInputStream(DfsClient& client, std::string path, std::vector<BlockInfo> blocks);
 
-  // read1: reads up to `len` bytes at the current position (may span block
-  // boundaries by looping). `out` is empty at EOF.
-  sim::Task read(std::uint64_t len, mem::Buffer& out);
+  // Unified read surface (docs/API.md §ReadRequest): one struct carries
+  // position, length, tenant, fan-out and the coalesce/readahead hints.
+  // `req.offset == ReadRequest::kCurrentPos` reads at the stream position
+  // and advances it (read1 semantics); an explicit offset is a positional
+  // read (read2) that leaves the cursor alone. `res.data` is empty at EOF
+  // and may be short at end of file; HDFS-level failures (deleted file,
+  // every replica dead) still surface as HdfsError, exactly like the old
+  // overloads, so the shims below behave identically.
+  sim::Task read(const ReadRequest& req, ReadResult& res);
 
-  // read2: positional read (does not move the stream position).
-  sim::Task pread(std::uint64_t position, std::uint64_t len, mem::Buffer& out);
+  // read1 compat shim: reads up to `len` bytes at the current position
+  // (may span block boundaries by looping). `out` is empty at EOF.
+  sim::Task read(std::uint64_t len, mem::Buffer& out) {
+    ReadRequest req;
+    req.len = len;
+    ReadResult res;
+    co_await read(req, res);
+    out = std::move(res.data);
+  }
+
+  // read2 compat shim: positional read (does not move the stream position).
+  sim::Task pread(std::uint64_t position, std::uint64_t len, mem::Buffer& out) {
+    ReadRequest req;
+    req.offset = position;
+    req.len = len;
+    ReadResult res;
+    co_await read(req, res);
+    out = std::move(res.data);
+  }
 
   void seek(std::uint64_t pos);
   sim::Task skip(std::uint64_t n) {
@@ -290,10 +313,17 @@ class DfsInputStream {
 
   const BlockInfo* block_at(std::uint64_t pos) const;
 
+  // The two halves of the unified read(): sequential (cursor-advancing
+  // read1 loop) and positional (Algorithm 2 with optional block fan-out).
+  sim::Task read_sequential(const ReadRequest& req, ReadResult& res);
+  sim::Task read_positional(const ReadRequest& req, ReadResult& res);
+
   // Reads [off, off+len) of one block into `out` per Algorithm 1/2:
-  // vRead first (descriptor hash), else socket.
+  // vRead first (descriptor hash), else socket. `opts` carries the
+  // per-read options (tenant + coalesce/readahead hints) down to the
+  // BlockReader.
   sim::Task read_block_range(const BlockInfo& blk, std::uint64_t off, std::uint64_t len,
-                             mem::Buffer& out, bool sequential);
+                             mem::Buffer& out, bool sequential, const ReadRequest& opts);
 
   // One spawned leg of a fanned-out pread. Takes the block by value (the
   // spawning loop's locals die before the leg finishes) and joins through
@@ -302,8 +332,8 @@ class DfsInputStream {
   // leg's final exception, if any, lands in its own slot of the parent's
   // error vector so one shed block never poisons its siblings.
   sim::Task pread_part(BlockInfo blk, std::uint64_t off, std::uint64_t len,
-                       mem::Buffer* out, std::exception_ptr* err, sim::Semaphore* gate,
-                       sim::Latch* latch);
+                       const ReadRequest* opts, mem::Buffer* out, std::exception_ptr* err,
+                       sim::Semaphore* gate, sim::Latch* latch);
 
   // Per-leg retry budget for fanned-out pread parts: a first failure
   // (e.g. the daemon shed the read mid-fan-out, or a replica answered

@@ -4,9 +4,21 @@
 // time at the device bandwidth; requests serialize on the device. The
 // *CPU* side of a disk access (block layer, virtio-blk) is charged by the
 // caller via the cost model — this class models device time only.
+//
+// Batched submission (io_uring-style, DESIGN.md §12): when configured,
+// read_batched() requests collect in a submission window that seals after
+// `max_requests` have joined or `window` ns after it opened (0 = collect
+// only requests issued at the same instant). A sealed batch is sorted by
+// offset and submitted as ONE device operation: a single access latency is
+// paid for the whole batch — that is what the sort buys — plus transfer of
+// the summed bytes, and every member completes together. read() bypasses
+// the window unconditionally.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
 
 #include "sim/simulation.h"
 #include "sim/time.h"
@@ -21,6 +33,17 @@ class Disk {
     sim::SimTime read_latency = sim::us(150);
     sim::SimTime write_latency = sim::us(60);
   };
+
+  // Submission-window tuning for read_batched().
+  struct BatchConfig {
+    std::size_t max_requests = 8;  // seal when this many requests joined
+    sim::SimTime window = 0;       // ...or this long after the window opened
+  };
+
+  // Called once per sealed batch with (requests, total bytes) — the
+  // occupancy feed for the vread_coalesce_batch_requests histogram. Kept
+  // as a callback so hw/ stays free of a metrics dependency.
+  using BatchObserver = std::function<void(std::size_t, std::uint64_t)>;
 
   Disk(sim::Simulation& sim, Config config) : sim_(sim), config_(config) {}
   Disk(const Disk&) = delete;
@@ -50,13 +73,78 @@ class Disk {
     return IoAwaiter{*this, bytes, true};
   }
 
+  // Enables the batched submission path (daemon coalescing fills route
+  // through it). Re-configuring replaces the observer; an open window
+  // keeps its original parameters until it seals.
+  void configure_batching(BatchConfig cfg, BatchObserver observer = {}) {
+    if (cfg.max_requests == 0) cfg.max_requests = 1;
+    batch_cfg_ = cfg;
+    batch_observer_ = std::move(observer);
+    batching_ = true;
+  }
+  bool batching_enabled() const { return batching_; }
+  const BatchConfig& batch_config() const { return batch_cfg_; }
+
+  struct BatchAwaiter {
+    Disk& disk;
+    std::uint64_t bytes;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      disk.bytes_read_ += bytes;
+      ++disk.reads_;
+      if (!disk.batching_) {
+        disk.sim_.resume_at(disk.schedule(bytes, /*is_write=*/false), h);
+        return;
+      }
+      disk.join_batch(bytes, h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  // Awaitable batched read: joins the open submission window (opening one
+  // if none is pending). Identical to read() when batching is off.
+  BatchAwaiter read_batched(std::uint64_t bytes) { return BatchAwaiter{*this, bytes}; }
+
   std::uint64_t bytes_read() const { return bytes_read_; }
   std::uint64_t bytes_written() const { return bytes_written_; }
   std::uint64_t read_count() const { return reads_; }
   std::uint64_t write_count() const { return writes_; }
+  std::uint64_t batch_count() const { return batches_; }
   const Config& config() const { return config_; }
 
  private:
+  struct Batch {
+    std::uint64_t id = 0;
+    std::uint64_t total = 0;
+    std::vector<std::coroutine_handle<>> members;
+  };
+
+  void join_batch(std::uint64_t bytes, std::coroutine_handle<> h) {
+    if (!open_batch_) {
+      open_batch_ = std::make_unique<Batch>();
+      open_batch_->id = ++next_batch_id_;
+      // Seal timer: fires even at window 0 — post() enqueues after every
+      // event already scheduled for `now`, so truly simultaneous
+      // submissions still land in one batch.
+      const std::uint64_t id = open_batch_->id;
+      sim_.post(batch_cfg_.window, [this, id] { seal(id); });
+    }
+    open_batch_->total += bytes;
+    open_batch_->members.push_back(h);
+    if (open_batch_->members.size() >= batch_cfg_.max_requests) seal(open_batch_->id);
+  }
+
+  void seal(std::uint64_t id) {
+    // The timer may fire after a count-triggered seal already closed this
+    // window (or after a newer window opened): match by id.
+    if (!open_batch_ || open_batch_->id != id) return;
+    std::unique_ptr<Batch> b = std::move(open_batch_);
+    ++batches_;
+    if (batch_observer_) batch_observer_(b->members.size(), b->total);
+    const sim::SimTime completion = schedule(b->total, /*is_write=*/false);
+    for (std::coroutine_handle<> h : b->members) sim_.resume_at(completion, h);
+  }
+
   sim::SimTime schedule(std::uint64_t bytes, bool is_write) {
     const double bw = (is_write ? config_.write_bw_mbps : config_.read_bw_mbps) * 1e6;
     const sim::SimTime latency = is_write ? config_.write_latency : config_.read_latency;
@@ -75,6 +163,13 @@ class Disk {
   std::uint64_t bytes_written_ = 0;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
+  // Batched submission state.
+  bool batching_ = false;
+  BatchConfig batch_cfg_{};
+  BatchObserver batch_observer_{};
+  std::unique_ptr<Batch> open_batch_;
+  std::uint64_t next_batch_id_ = 0;
+  std::uint64_t batches_ = 0;
 };
 
 }  // namespace vread::hw

@@ -232,8 +232,14 @@ sim::Task QfsClient::read_chunk_range(const ChunkInfo& chunk, std::uint64_t off,
       vfd = it->second;
     }
     if (vfd != 0) {
-      Status st;
-      co_await reader_->read(vfd, off, len, out, st);
+      hdfs::ReadRequest rr;
+      rr.vfd = vfd;
+      rr.offset = off;
+      rr.len = len;
+      hdfs::ReadResult rres;
+      co_await reader_->read(rr, rres);
+      const Status st = std::move(rres.status);
+      out = std::move(rres.data);
       if (st.ok()) {
         co_await vm_.run_vcpu(
             cm.per_byte(out.size(), cm.client_hdfs_vread_cycles_per_byte),

@@ -47,6 +47,7 @@ RunSummary aggregate(const Tracer& t) {
         break;
       case SpanKind::kStage:
       case SpanKind::kCompute:
+      case SpanKind::kCoalesce:
         break;
     }
   }

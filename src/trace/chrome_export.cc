@@ -85,7 +85,8 @@ void write_chrome_trace(std::ostream& os, const Tracer& t,
   for (const Span& sp : t.spans()) {
     const auto& [pid, _] = tids[sp.tid];
     sep();
-    bool instant = sp.kind == SpanKind::kRetry || sp.kind == SpanKind::kFallback;
+    bool instant = sp.kind == SpanKind::kRetry || sp.kind == SpanKind::kFallback ||
+                   (sp.kind == SpanKind::kCoalesce && sp.begin == sp.end);
     os << "{\"ph\":\"" << (instant ? 'i' : 'X') << "\",\"pid\":" << pid
        << ",\"tid\":" << sp.tid << ",\"ts\":";
     put_us(os, sp.begin);

@@ -13,6 +13,7 @@ const char* to_string(SpanKind kind) {
     case SpanKind::kDisk: return "disk";
     case SpanKind::kRetry: return "retry";
     case SpanKind::kFallback: return "fallback";
+    case SpanKind::kCoalesce: return "coalesce";
   }
   return "?";
 }

@@ -40,6 +40,7 @@ enum class SpanKind : std::uint8_t {
   kDisk,       // physical disk service time incl. device queueing
   kRetry,      // instant: a retryable failure triggered another attempt
   kFallback,   // instant: degraded to a slower path (socket, TCP transport)
+  kCoalesce,   // merged-fill machinery: waiter attach/wait + leader fan-out
 };
 
 const char* to_string(SpanKind kind);

@@ -42,6 +42,13 @@ struct ShmRequest {
   std::string tenant;        // QoS accounting identity; libvread stamps the
                              // client VM's name (streams may override), the
                              // daemon falls back to the channel's VM
+  // Read hints carried from hdfs::ReadRequest (DESIGN.md §12). The daemon
+  // acts on coalesce/readahead today; deadline/priority ride the slot
+  // reserved for hedged/deadline reads (ROADMAP item 5).
+  bool coalesce = true;      // may attach to / lead a merged fill
+  bool readahead = true;     // may trigger the sequential readahead engine
+  sim::SimTime deadline = 0; // absolute sim deadline; 0 = none (reserved)
+  int priority = 0;          // scheduling hint (reserved)
   trace::Ctx ctx{};          // read attribution; rides the request slot so
                              // daemon-side spans join the client's trace
 };

@@ -15,12 +15,24 @@
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
+#include <stdexcept>
 
 #include "apps/cluster.h"
+#include "core/vread_daemon.h"
 #include "fault/fault.h"
 #include "sim/simulation.h"
 
 namespace vread::testutil {
+
+// Validates a DaemonConfig up front (same typed Status the daemon
+// constructor enforces) so a bed with bad tuning fails at the call site
+// with the CONFIG detail, not deep inside enable_vread.
+inline core::DaemonConfig validated(core::DaemonConfig dc) {
+  if (Status st = dc.Validate(); !st.ok()) {
+    throw std::invalid_argument("test bed daemon config: " + st.to_string());
+  }
+  return dc;
+}
 
 // 4 MB blocks: multi-block files stay small enough for fast tests while
 // still exercising block-boundary logic.

@@ -7,7 +7,10 @@ Checks, over every tracked *.md file:
   2. every `./build/<dir>/<name>` command mentioned in a fenced ``sh``
      block refers to a target that some CMakeLists.txt actually defines
      (add_executable/vread_test/plain name mention), so the docs can't
-     drift ahead of the build.
+     drift ahead of the build;
+  3. every `vread_*` metric name registered in the sources (counter/
+     gauge/histogram call sites under src/ and bench/) appears in
+     docs/METRICS.md, so new series can't ship undocumented.
 
 Exit code 0 = clean; 1 = problems (all printed).
 """
@@ -107,12 +110,40 @@ def check_schema_versions(problems):
             )
 
 
+# Instrument registration sites: counter("vread_...") etc. The name
+# literal often sits on the line after the call (clang-format), so \s*
+# must span newlines.
+METRIC_DECL_RE = re.compile(r'(?:counter|gauge|histogram)\(\s*"(vread_[a-z0-9_]+)"')
+
+
+def check_metric_docs(problems):
+    doc_path = ROOT / "docs" / "METRICS.md"
+    if not doc_path.exists():
+        problems.append("docs/METRICS.md: missing (metric-name check)")
+        return
+    doc = doc_path.read_text()
+    names = {}
+    for sub in ("src", "bench"):
+        for p in sorted((ROOT / sub).rglob("*")):
+            if p.suffix not in (".h", ".cc"):
+                continue
+            for m in METRIC_DECL_RE.finditer(p.read_text()):
+                names.setdefault(m.group(1), p)
+    for name, p in sorted(names.items()):
+        if name not in doc:
+            problems.append(
+                f"{p.relative_to(ROOT)}: metric '{name}' is registered in the "
+                f"sources but not documented in docs/METRICS.md"
+            )
+
+
 def main():
     problems = []
     targets = cmake_targets()
     if not targets:
         problems.append("no CMake targets found — is this the repo root?")
     check_schema_versions(problems)
+    check_metric_docs(problems)
     for path in md_files():
         text = path.read_text()
         check_links(path, text, problems)

@@ -54,6 +54,13 @@ struct Options {
   std::string metrics_file = "vreadsim.metrics.prom";
   std::uint64_t soak = 0;  // randomized soak iterations (0 = normal run)
   std::uint64_t seed = 1;  // soak base seed
+  // Daemon tuning, validated through DaemonConfig::Validate() before the
+  // stack comes up (a bad combination exits with the typed CONFIG status).
+  std::size_t workers = core::DaemonConfig{}.workers;
+  std::uint64_t cache_mb = core::DaemonConfig{}.cache_bytes >> 20;
+  bool coalesce = true;
+  std::size_t batch_max = 0;          // 0 = auto
+  std::uint64_t batch_window_us = 0;  // disk submission batch window
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -67,6 +74,11 @@ struct Options {
       << "  --file-mb N            dataset size (default 64)\n"
       << "  --block-mb N           HDFS block size (default 16)\n"
       << "  --buffer-kb N          read request size (default 1024)\n"
+      << "  --workers N            daemon worker threads per client VM (default 1)\n"
+      << "  --cache-mb N           daemon block-cache size (0 disables; default 64)\n"
+      << "  --no-coalesce          disable cross-VM fill coalescing (DESIGN.md §12)\n"
+      << "  --batch-max N          disk submission batch size (0 = auto)\n"
+      << "  --batch-window-us N    disk submission batch window (default 0)\n"
       << "  --reread               also measure the cache-warm second pass\n"
       << "  --breakdown            print per-group CPU category breakdown\n"
       << "  --trace [FILE]         per-read span tracing: prints the copy/sync\n"
@@ -124,6 +136,16 @@ Options parse(int argc, char** argv) {
       o.soak = std::stoull(next());
     } else if (a == "--seed") {
       o.seed = std::stoull(next());
+    } else if (a == "--workers") {
+      o.workers = std::stoull(next());
+    } else if (a == "--cache-mb") {
+      o.cache_mb = std::stoull(next());
+    } else if (a == "--no-coalesce") {
+      o.coalesce = false;
+    } else if (a == "--batch-max") {
+      o.batch_max = std::stoull(next());
+    } else if (a == "--batch-window-us") {
+      o.batch_window_us = std::stoull(next());
     } else {
       usage(argv[0]);
     }
@@ -133,6 +155,28 @@ Options parse(int argc, char** argv) {
   }
   if (o.transport != "rdma" && o.transport != "tcp") usage(argv[0]);
   return o;
+}
+
+// Applies the CLI daemon knobs on top of the defaults. Both run paths
+// funnel through validate_or_die() so an inconsistent combination dies
+// with the typed CONFIG status instead of a daemon-constructor throw.
+core::DaemonConfig daemon_config(const Options& o) {
+  core::DaemonConfig dc;
+  dc.transport = o.transport == "rdma" ? core::VReadDaemon::Transport::kRdma
+                                       : core::VReadDaemon::Transport::kTcp;
+  dc.workers = o.workers;
+  dc.cache_bytes = o.cache_mb << 20;
+  dc.coalesce.enabled = o.coalesce;
+  dc.coalesce.batch_max = o.batch_max;
+  dc.coalesce.batch_window = sim::us(static_cast<std::int64_t>(o.batch_window_us));
+  return dc;
+}
+
+void validate_or_die(const core::DaemonConfig& dc) {
+  if (Status st = dc.Validate(); !st.ok()) {
+    std::cerr << "invalid daemon configuration: " << st.to_string() << "\n";
+    std::exit(2);
+  }
 }
 
 void print_breakdown(apps::Cluster& c, const apps::Cluster::Window& w) {
@@ -235,6 +279,10 @@ int run_soak(const Options& o) {
     // shortcut and the daemon-to-daemon path in one run.
     c.preload_file("/data", file_bytes, content_seed,
                    {{"datanode1"}, {"datanode2"}});
+    dc.coalesce.enabled = o.coalesce;
+    dc.coalesce.batch_max = o.batch_max;
+    dc.coalesce.batch_window = sim::us(static_cast<std::int64_t>(o.batch_window_us));
+    validate_or_die(dc);
     c.enable_vread(dc);
     c.drop_all_caches();
 
@@ -312,8 +360,9 @@ int main(int argc, char** argv) {
   c.preload_file("/data", o.file_mb << 20, /*seed=*/2026, placement);
 
   if (o.vread) {
-    c.enable_vread(o.transport == "rdma" ? core::VReadDaemon::Transport::kRdma
-                                         : core::VReadDaemon::Transport::kTcp);
+    const core::DaemonConfig dc = daemon_config(o);
+    validate_or_die(dc);
+    c.enable_vread(dc);
   }
   c.drop_all_caches();
   if (o.trace) trace::tracer().enable(c.sim());

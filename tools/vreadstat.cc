@@ -132,8 +132,8 @@ std::string fmt_us(std::uint64_t ns) { return metrics::fmt(static_cast<double>(n
 
 void print_daemon_table(apps::Cluster& c, const std::vector<std::string>& hosts) {
   metrics::TablePrinter t({"daemon", "opens", "reads", "MB", "remote", "refresh",
-                           "hit%", "cache%", "infl", "inflhi", "descs", "p50us",
-                           "p95us", "p99us"});
+                           "hit%", "cache%", "cls%", "fillMB", "infl", "inflhi",
+                           "descs", "p50us", "p95us", "p99us"});
   for (const std::string& h : hosts) {
     core::VReadDaemon* d = c.daemon(h);
     if (d == nullptr) continue;
@@ -148,9 +148,17 @@ void print_daemon_table(apps::Cluster& c, const std::vector<std::string>& hosts)
         cache_lookups == 0 ? 0.0
                            : 100.0 * static_cast<double>(s.cache_hits) /
                                  static_cast<double>(cache_lookups);
+    // Share of fills joined as a waiter instead of re-issued (§12).
+    const std::uint64_t fills = s.coalesce_hits + s.coalesce_misses;
+    const double coalesce_pct =
+        fills == 0 ? 0.0
+                   : 100.0 * static_cast<double>(s.coalesce_hits) /
+                         static_cast<double>(fills);
     t.add_row({s.host, s.opens, s.reads,
                metrics::Cell(static_cast<double>(s.bytes_read) / 1e6, 1), s.remote_reads,
                s.refreshes, metrics::Cell(hit_pct, 1), metrics::Cell(cache_pct, 1),
+               metrics::Cell(coalesce_pct, 1),
+               metrics::Cell(static_cast<double>(s.coalesce_fill_bytes) / 1e6, 1),
                s.shm_inflight, static_cast<std::uint64_t>(s.shm_inflight_high),
                s.open_descriptors, metrics::num(fmt_us(s.read_latency.percentile(50))),
                metrics::num(fmt_us(s.read_latency.percentile(95))),
@@ -179,8 +187,8 @@ void print_peer_table(apps::Cluster& c, const std::vector<std::string>& hosts) {
 }
 
 void print_tenant_table(apps::Cluster& c, const std::vector<std::string>& hosts) {
-  metrics::TablePrinter t({"daemon", "tenant", "weight", "reqs", "MB", "shed",
-                           "queued", "qhigh"});
+  metrics::TablePrinter t({"daemon", "tenant", "weight", "reqs", "MB", "fillMB",
+                           "shed", "queued", "qhigh"});
   bool any = false;
   for (const std::string& h : hosts) {
     core::VReadDaemon* d = c.daemon(h);
@@ -188,7 +196,8 @@ void print_tenant_table(apps::Cluster& c, const std::vector<std::string>& hosts)
     const core::DaemonStats s = d->stats_snapshot();
     for (const core::QosTenantStats& q : s.tenants) {
       t.add_row({s.host, q.tenant, metrics::Cell(q.weight, 1), q.requests,
-                 metrics::Cell(static_cast<double>(q.bytes) / 1e6, 1), q.shed,
+                 metrics::Cell(static_cast<double>(q.bytes) / 1e6, 1),
+                 metrics::Cell(static_cast<double>(q.fill_bytes) / 1e6, 1), q.shed,
                  q.queued, static_cast<std::uint64_t>(q.queue_high)});
       any = true;
     }
