@@ -6,6 +6,7 @@ namespace vread::apps {
 
 Cluster::Cluster(ClusterConfig config)
     : config_(config), lan_(sim_, config.link) {
+  if (config_.racks.hosts_per_rack > 0) lan_.configure_racks(config_.racks);
   net_ = std::make_unique<virt::VirtualNetwork>(sim_, lan_, costs_);
 }
 
@@ -47,6 +48,9 @@ hdfs::DataNode& Cluster::add_datanode(const std::string& host_name,
   virt::Vm& vm = add_vm(host_name, dn_id);
   datanodes_.push_back(std::make_unique<hdfs::DataNode>(vm, *namenode_, *net_, dn_id));
   datanodes_.back()->start();
+  if (lan_.racked()) {
+    namenode_->register_datanode(dn_id, lan_.rack_of(vm.host().lan_id()));
+  }
   return *datanodes_.back();
 }
 
@@ -55,6 +59,9 @@ hdfs::DataNode& Cluster::add_datanode_in_vm(const std::string& vm_name) {
   if (v == nullptr) throw std::runtime_error("no such VM: " + vm_name);
   datanodes_.push_back(std::make_unique<hdfs::DataNode>(*v, *namenode_, *net_, vm_name));
   datanodes_.back()->start();
+  if (lan_.racked()) {
+    namenode_->register_datanode(vm_name, lan_.rack_of(v->host().lan_id()));
+  }
   return *datanodes_.back();
 }
 
@@ -62,7 +69,31 @@ hdfs::DfsClient& Cluster::add_client(const std::string& vm_name) {
   virt::Vm* v = vm(vm_name);
   if (v == nullptr) throw std::runtime_error("no such VM: " + vm_name);
   clients_[vm_name] = std::make_unique<hdfs::DfsClient>(*v, *namenode_, *net_);
+  if (selector_) apply_routing(*clients_[vm_name]);
   return *clients_[vm_name];
+}
+
+void Cluster::enable_routing(cluster::RouteConfig route) {
+  selector_ = std::make_unique<cluster::ReplicaSelector>(route);
+  for (auto& [name, client] : clients_) apply_routing(*client);
+}
+
+void Cluster::apply_routing(hdfs::DfsClient& client) {
+  client.set_route(selector_.get());
+  // Completion-time load probe: resolve the datanode's host, sample its
+  // daemon. The piggyback is free on the wire (the signal rides the
+  // completion message the way trace contexts ride segments).
+  client.set_load_probe([this](const std::string& dn_id) {
+    cluster::DaemonLoad load;
+    virt::Vm* dn_vm = net_->find_vm(dn_id);
+    if (dn_vm == nullptr) return load;
+    auto it = daemons_.find(dn_vm->host().name());
+    if (it == daemons_.end()) return load;
+    const core::VReadDaemon::LoadSignal s = it->second->load_signal();
+    load.queue_depth = s.queue_depth;
+    load.inflight_bytes = s.inflight_bytes;
+    return load;
+  });
 }
 
 namespace {

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "cluster/route.h"
+#include "cluster/topology.h"
 #include "core/libvread.h"
 #include "core/vread_daemon.h"
 #include "hdfs/datanode.h"
@@ -46,6 +48,10 @@ struct ClusterConfig {
   // Scaled-down HDFS block size (paper default 64 MB; benches use smaller
   // files — ratios are preserved, see DESIGN.md scaling note).
   std::uint64_t block_size = 32ULL * 1024 * 1024;
+  // Rack topology (docs/TOPOLOGY.md): hosts_per_rack > 0 groups hosts into
+  // racks (in add_host order) with oversubscribable ToR uplinks, and makes
+  // the namenode's default placement rack-aware. 0 keeps the flat LAN.
+  hw::Lan::RackConfig racks{};
 };
 
 class Cluster {
@@ -80,6 +86,14 @@ class Cluster {
     enable_vread(core::DaemonConfig{.transport = transport});
   }
   bool vread_enabled() const { return !daemons_.empty(); }
+
+  // Replica-aware read routing (docs/TOPOLOGY.md): one shared selector for
+  // every client (existing and future), so load feedback from any reader
+  // steers them all. The load probe samples the serving host's daemon at
+  // completion time; call after enable_vread() for live signals (clients
+  // work either way — probes of unknown daemons return an idle signal).
+  void enable_routing(cluster::RouteConfig route);
+  cluster::ReplicaSelector* route_selector() { return selector_.get(); }
 
   // --- data management ---
   // Instantly materializes an HDFS file (no simulated cost): block i goes
@@ -147,6 +161,9 @@ class Cluster {
   std::map<std::string, std::unique_ptr<hdfs::DfsClient>> clients_;
   std::map<std::string, std::unique_ptr<core::VReadDaemon>> daemons_;
   std::map<std::string, std::unique_ptr<core::LibVread>> libvreads_;
+  std::unique_ptr<cluster::ReplicaSelector> selector_;
+
+  void apply_routing(hdfs::DfsClient& client);
 };
 
 }  // namespace vread::apps

@@ -1,0 +1,233 @@
+#include "cluster/flowsim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vread::cluster {
+namespace {
+
+class FlowSim {
+ public:
+  explicit FlowSim(const FlowSimConfig& cfg)
+      : cfg_(cfg), topo_(cfg.topo), selector_(cfg.route), rng_(cfg.seed) {
+    const std::uint32_t hosts = topo_.host_count();
+    host_names_.reserve(hosts);
+    for (std::uint32_t h = 0; h < hosts; ++h) {
+      host_names_.push_back("h" + std::to_string(h));
+    }
+    shortcut_n_.assign(hosts, 0);
+    serve_n_.assign(hosts, 0);
+    nic_n_.assign(hosts, 0);
+    up_n_.assign(topo_.racks(), 0);
+    down_n_.assign(topo_.racks(), 0);
+    host_active_.assign(hosts, 0);
+    host_inflight_.assign(hosts, 0);
+    place_blocks();
+  }
+
+  FlowSimResult run() {
+    const std::uint32_t readers = topo_.vm_count();
+    for (std::uint32_t r = 0; r < readers; ++r) {
+      sim_.post_at(0, [this, r] { start_read(r); });
+    }
+    sim_.post(cfg_.epoch, [this] { step(); });
+    sim_.run();
+
+    FlowSimResult res;
+    res.sim_seconds = static_cast<double>(sim_.now()) / 1e9;
+    res.reads = done_;
+    res.bytes = bytes_;
+    res.aggregate_mb_s =
+        res.sim_seconds > 0 ? static_cast<double>(bytes_) / 1e6 / res.sim_seconds : 0;
+    res.cross_rack_bytes = cross_rack_bytes_;
+    res.chosen_same_host = selector_.chosen(PathTier::kSameHost);
+    res.chosen_same_rack = selector_.chosen(PathTier::kSameRack);
+    res.chosen_cross_rack = selector_.chosen(PathTier::kCrossRack);
+    res.overload_avoided = selector_.overload_avoided();
+    res.feedback_reports = selector_.feedback_reports();
+    res.epochs = epochs_;
+    res.events_dispatched = sim_.events_dispatched();
+    return res;
+  }
+
+ private:
+  struct Flow {
+    std::uint32_t reader;    // VM index (restarts its loop on completion)
+    std::uint32_t src, dst;  // serving host, reader host
+    PathTier tier;
+    double remaining;  // payload bytes left
+  };
+
+  // HDFS rack-aware placement: first replica on the "writer" host, second
+  // in a different rack, third alongside the second (extra replicas rotate).
+  void place_blocks() {
+    const std::uint32_t hosts = topo_.host_count();
+    const std::uint32_t hpr = cfg_.topo.hosts_per_rack;
+    blocks_.resize(cfg_.blocks);
+    for (std::uint64_t b = 0; b < cfg_.blocks; ++b) {
+      std::vector<std::uint32_t>& reps = blocks_[b];
+      const std::uint32_t r1 = static_cast<std::uint32_t>(b % hosts);
+      reps.push_back(r1);
+      if (cfg_.replication >= 2) {
+        std::uint32_t rack2 = topo_.rack_of(r1);
+        if (topo_.racks() > 1) {
+          rack2 = (rack2 + 1 +
+                   static_cast<std::uint32_t>(rng_.uniform(0, topo_.racks() - 2))) %
+                  topo_.racks();
+        }
+        const std::uint32_t r2 =
+            rack2 * hpr + static_cast<std::uint32_t>(rng_.uniform(0, hpr - 1));
+        if (r2 != r1) reps.push_back(r2);
+        if (cfg_.replication >= 3 && hpr > 1) {
+          std::uint32_t r3 = rack2 * hpr + (r2 % hpr + 1 +
+                                            static_cast<std::uint32_t>(
+                                                rng_.uniform(0, hpr - 2))) %
+                                               hpr;
+          if (r3 != r1 && r3 != r2) reps.push_back(r3);
+        }
+      }
+      for (std::uint32_t extra = 3; extra < cfg_.replication; ++extra) {
+        const std::uint32_t h = static_cast<std::uint32_t>(rng_.uniform(0, hosts - 1));
+        if (std::find(reps.begin(), reps.end(), h) == reps.end()) reps.push_back(h);
+      }
+    }
+  }
+
+  void start_read(std::uint32_t reader) {
+    if (issued_ >= cfg_.reads) return;
+    ++issued_;
+    const std::uint32_t dst = topo_.host_of_vm(reader);
+    // Skewed block pick: the hot set soaks up hot_probability of reads.
+    const std::uint64_t hot_n = std::min(
+        cfg_.blocks, std::max<std::uint64_t>(
+                         1, static_cast<std::uint64_t>(
+                                static_cast<double>(cfg_.blocks) * cfg_.hot_fraction)));
+    const std::uint64_t b = hot_n >= cfg_.blocks ||
+                                    rng_.uniform01() < cfg_.hot_probability
+                                ? rng_.uniform(0, hot_n - 1)
+                                : rng_.uniform(hot_n, cfg_.blocks - 1);
+
+    const std::vector<std::uint32_t>& reps = blocks_[b];
+    std::vector<ReplicaSelector::Candidate> cands;
+    cands.reserve(reps.size());
+    for (std::uint32_t h : reps) {
+      cands.push_back({&host_names_[h], topo_.tier(h, dst)});
+    }
+    const std::uint32_t src = reps[selector_.choose(sim_.now(), cands)];
+
+    Flow f{reader, src, dst, topo_.tier(src, dst),
+           static_cast<double>(cfg_.block_bytes)};
+    link_delta(f, +1);
+    host_inflight_[src] += cfg_.block_bytes;
+    flows_.push_back(f);
+  }
+
+  void link_delta(const Flow& f, int d) {
+    host_active_[f.src] += d;
+    if (f.tier == PathTier::kSameHost) {
+      shortcut_n_[f.src] += d;
+      return;
+    }
+    serve_n_[f.src] += d;
+    nic_n_[f.src] += d;
+    if (f.tier == PathTier::kCrossRack) {
+      up_n_[topo_.rack_of(f.src)] += d;
+      down_n_[topo_.rack_of(f.dst)] += d;
+    }
+  }
+
+  // Fair-share rate for one flow: min over the links on its path of
+  // capacity / flows-on-link, in bytes per second.
+  double rate_of(const Flow& f) const {
+    auto share = [](double gbps, std::uint32_t n) {
+      return gbps * 1e9 / 8.0 / static_cast<double>(n);
+    };
+    if (f.tier == PathTier::kSameHost) {
+      return share(cfg_.shortcut_gbps, shortcut_n_[f.src]);
+    }
+    double r = share(cfg_.serve_gbps, serve_n_[f.src]);
+    r = std::min(r, share(cfg_.topo.host_link.bw_gbps, nic_n_[f.src]));
+    if (f.tier == PathTier::kCrossRack) {
+      const double up_gbps =
+          cfg_.topo.uplink.bw_gbps / std::max(1.0, cfg_.topo.oversubscription);
+      r = std::min(r, share(up_gbps, up_n_[topo_.rack_of(f.src)]));
+      r = std::min(r, share(up_gbps, down_n_[topo_.rack_of(f.dst)]));
+    }
+    return r;
+  }
+
+  void step() {
+    ++epochs_;
+    if (sim_.now() > cfg_.max_sim_time) {
+      throw sim::SimError("flowsim exceeded max_sim_time with " +
+                          std::to_string(cfg_.reads - done_) + " reads left");
+    }
+    const double dt = static_cast<double>(cfg_.epoch) / 1e9;
+    // Rates are computed against the epoch-start link population, then all
+    // flows advance together (simultaneous fair-share step).
+    rates_.resize(flows_.size());
+    for (std::size_t i = 0; i < flows_.size(); ++i) rates_[i] = rate_of(flows_[i]);
+    for (std::size_t i = 0; i < flows_.size();) {
+      Flow& f = flows_[i];
+      const double progress = rates_[i] * dt;
+      if (f.remaining <= progress) {
+        complete(f);
+        rates_[i] = rates_.back();
+        rates_.pop_back();
+        flows_[i] = flows_.back();
+        flows_.pop_back();
+      } else {
+        f.remaining -= progress;
+        ++i;
+      }
+    }
+    if (done_ < cfg_.reads) sim_.post(cfg_.epoch, [this] { step(); });
+  }
+
+  void complete(const Flow& f) {
+    ++done_;
+    bytes_ += cfg_.block_bytes;
+    if (f.tier == PathTier::kCrossRack) cross_rack_bytes_ += cfg_.block_bytes;
+    link_delta(f, -1);
+    host_inflight_[f.src] -= cfg_.block_bytes;
+    // Completion piggybacks the serving daemon's load signal (zero wire
+    // cost — see docs/TOPOLOGY.md §feedback).
+    selector_.report(sim_.now(), host_names_[f.src],
+                     DaemonLoad{host_active_[f.src], host_inflight_[f.src], false});
+    const std::uint32_t reader = f.reader;
+    // The reader's next read goes through the event queue: a million-read
+    // run is a million calendar-queue dispatches.
+    sim_.post_at(sim_.now(), [this, reader] { start_read(reader); });
+  }
+
+  FlowSimConfig cfg_;
+  Topology topo_;
+  ReplicaSelector selector_;
+  sim::Rng rng_;
+  sim::Simulation sim_;
+
+  std::vector<std::string> host_names_;
+  std::vector<std::vector<std::uint32_t>> blocks_;  // block -> replica hosts
+  std::vector<Flow> flows_;
+  std::vector<double> rates_;
+
+  // Per-link active-flow counts (fair-share denominators).
+  std::vector<std::uint32_t> shortcut_n_, serve_n_, nic_n_, up_n_, down_n_;
+  // Per-host serving load (the feedback signal).
+  std::vector<std::uint64_t> host_active_, host_inflight_;
+
+  std::uint64_t issued_ = 0, done_ = 0, bytes_ = 0, cross_rack_bytes_ = 0;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace
+
+FlowSimResult run_flowsim(const FlowSimConfig& cfg) {
+  if (cfg.topo.racks == 0 || cfg.topo.hosts_per_rack == 0 ||
+      cfg.topo.vms_per_host == 0 || cfg.blocks == 0) {
+    throw std::invalid_argument("flowsim: empty topology");
+  }
+  return FlowSim(cfg).run();
+}
+
+}  // namespace vread::cluster

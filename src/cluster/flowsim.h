@@ -1,0 +1,72 @@
+// Epoch-based flow-level cluster model (docs/TOPOLOGY.md §flowsim).
+//
+// The detailed simulator prices every copy, syscall and wire hop — perfect
+// for a handful of hosts, hopeless for five hundred. FlowSim keeps the
+// pieces that decide rack-scale behavior (replica choice, link sharing,
+// load feedback) and drops per-packet fidelity: each read is one flow;
+// every epoch, each link divides its capacity evenly among the flows
+// crossing it and every flow progresses at the minimum share along its
+// path. Readers are closed-loop (one outstanding read each), and each
+// completion is posted through the sim::Simulation event queue — a
+// 500-host, million-read sweep pushes >1M events through the calendar
+// queue and still finishes in a couple of wall-clock seconds.
+//
+// Replica selection is the SAME ReplicaSelector the detailed DfsClient
+// uses, so policy semantics cannot drift between the two models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/route.h"
+#include "cluster/topology.h"
+#include "sim/simulation.h"
+
+namespace vread::cluster {
+
+struct FlowSimConfig {
+  TopologyConfig topo{};
+  RouteConfig route{};
+  std::uint64_t seed = 42;
+
+  std::uint32_t replication = 3;  // replicas per block (HDFS rack-aware)
+  std::uint64_t blocks = 1024;    // distinct blocks in the working set
+  std::uint64_t block_bytes = 8ULL << 20;
+  std::uint64_t reads = 100000;  // total reads issued across all readers
+
+  // Skewed access: a fraction of blocks is "hot" and attracts a
+  // disproportionate share of reads — the load-spreading case.
+  double hot_fraction = 0.05;
+  double hot_probability = 0.5;
+
+  // Per-host service capacities (Gbps). The shortcut rate bounds same-host
+  // shm reads; the serve rate bounds everything a host's daemon ships to
+  // remote readers (disk + daemon CPU, shared across its flows).
+  double shortcut_gbps = 20.0;
+  double serve_gbps = 8.0;
+
+  sim::SimTime epoch = sim::us(500);
+  sim::SimTime max_sim_time = sim::sec(86400);  // safety net: fail loudly
+};
+
+struct FlowSimResult {
+  double sim_seconds = 0;      // simulated completion time
+  double aggregate_mb_s = 0;   // total payload bytes / sim_seconds
+  std::uint64_t reads = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t cross_rack_bytes = 0;
+  std::uint64_t chosen_same_host = 0;
+  std::uint64_t chosen_same_rack = 0;
+  std::uint64_t chosen_cross_rack = 0;
+  std::uint64_t overload_avoided = 0;
+  std::uint64_t feedback_reports = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t events_dispatched = 0;  // sim-engine events the run consumed
+};
+
+// Runs the model to completion (all reads served). Deterministic from the
+// config alone. Throws sim::SimError if max_sim_time elapses first.
+FlowSimResult run_flowsim(const FlowSimConfig& cfg);
+
+}  // namespace vread::cluster

@@ -21,41 +21,50 @@ constexpr std::uint64_t kCtrlBytes = 96;
 }  // namespace
 
 Status DaemonConfig::Validate() const {
-  auto bad = [](const std::string& detail) {
-    return Status(StatusCode::kConfig, detail);
+  // Every rejection names the offending field and the value it held
+  // ("DaemonConfig.<field> = <value>: why"), so a caller that only sees
+  // the Status can fix its tuning without a debugger.
+  auto bad = [](const std::string& field, const std::string& value,
+                const std::string& why) {
+    return Status(StatusCode::kConfig,
+                  "DaemonConfig." + field + " = " + value + ": " + why);
   };
   if (workers == 0) {
-    return bad("workers must be >= 1 (a daemon with no worker threads can never serve)");
+    return bad("workers", "0",
+               "must be >= 1 (a daemon with no worker threads can never serve)");
   }
   if (shm_max_outstanding == 0) {
-    return bad("shm_max_outstanding must be >= 1 (a zero slot budget deadlocks every call)");
+    return bad("shm_max_outstanding", "0",
+               "must be >= 1 (a zero slot budget deadlocks every call)");
   }
   // One shm slot (hw::CostModel::shm_slot_size, paper §4) is the smallest
   // payload unit the ring moves; a cache smaller than that can never hold
   // a useful entry.
   constexpr std::uint64_t kShmSlotBytes = 4 * 1024;
   if (cache_bytes > 0 && cache_bytes < kShmSlotBytes) {
-    return bad("cache_bytes smaller than one shm slot (" +
-               std::to_string(kShmSlotBytes) +
-               " bytes) can never hold an entry; use 0 to disable the cache");
+    return bad("cache_bytes", std::to_string(cache_bytes),
+               "smaller than one shm slot (" + std::to_string(kShmSlotBytes) +
+                   " bytes) can never hold an entry; use 0 to disable the cache");
   }
   if (coalesce.enabled && coalesce.batch_max > shm_max_outstanding) {
-    return bad("coalesce.batch_max (" + std::to_string(coalesce.batch_max) +
-               ") exceeds shm_max_outstanding (" +
-               std::to_string(shm_max_outstanding) +
-               "): the ring can never put that many fills in flight, so the "
-               "batch window would only ever seal on its timer");
+    return bad("coalesce.batch_max", std::to_string(coalesce.batch_max),
+               "exceeds shm_max_outstanding (" + std::to_string(shm_max_outstanding) +
+                   "): the ring can never put that many fills in flight, so the "
+                   "batch window would only ever seal on its timer");
   }
   if (qos.enabled) {
     if (qos.quantum_bytes == 0) {
-      return bad("qos.quantum_bytes must be > 0 (a zero quantum starves the DRR ring)");
+      return bad("qos.quantum_bytes", "0",
+                 "must be > 0 (a zero quantum starves the DRR ring)");
     }
     if (qos.default_weight <= 0.0) {
-      return bad("qos.default_weight must be > 0");
+      return bad("qos.default_weight", std::to_string(qos.default_weight),
+                 "must be > 0");
     }
     for (const auto& [tenant, w] : qos.weights) {
       if (w <= 0.0) {
-        return bad("qos.weights[" + tenant + "] must be > 0 (zero-weight tenants starve)");
+        return bad("qos.weights[" + tenant + "]", std::to_string(w),
+                   "must be > 0 (zero-weight tenants starve)");
       }
     }
   }
@@ -383,6 +392,14 @@ sim::Task VReadDaemon::handle(virt::ShmChannel& channel, hw::ThreadId tid,
       // reads that already resolved their descriptor.
       DescriptorPtr d = it->second;
       const sim::SimTime t0 = host_.sim().now();
+      // In-flight byte accounting for load_signal(); RAII so a throwing
+      // serve path can't leak the increment.
+      struct InflightGuard {
+        std::uint64_t* v;
+        std::uint64_t n;
+        ~InflightGuard() { *v -= n; }
+      } inflight_guard{&inflight_read_bytes_, req.len};
+      inflight_read_bytes_ += req.len;
       if (d->remote) {
         co_await serve_remote_read(channel, tid, req, std::move(d));
       } else {
@@ -398,7 +415,7 @@ sim::Task VReadDaemon::handle(virt::ShmChannel& channel, hw::ThreadId tid,
           // Tell the peer to drop its descriptor (small control message).
           VReadDaemon* peer = it->second->peer;
           const std::uint64_t peer_vfd = it->second->peer_vfd;
-          co_await host_.lan().transfer(host_.lan_id(), kCtrlBytes);
+          co_await host_.lan().transfer(host_.lan_id(), peer->host_.lan_id(), kCtrlBytes);
           peer->control_->submit([peer, peer_vfd]() -> sim::Task {
             peer->descriptors_.erase(peer_vfd);
             peer->open_descriptors_g_.set(
@@ -419,7 +436,7 @@ sim::Task VReadDaemon::handle(virt::ShmChannel& channel, hw::ThreadId tid,
                  it != remote_peers_.end()) {
         VReadDaemon* peer = it->second;
         std::string dn = req.datanode_id;
-        co_await host_.lan().transfer(host_.lan_id(), kCtrlBytes);
+        co_await host_.lan().transfer(host_.lan_id(), peer->host_.lan_id(), kCtrlBytes);
         // Named local: a lambda temporary inside a co_await full-expression
         // trips a GCC 12 double-destruction bug (same below).
         std::function<sim::Task(hw::ThreadId)> job =
@@ -740,7 +757,7 @@ sim::Task VReadDaemon::remote_open(hw::ThreadId tid, VReadDaemon* peer,
       co_await host_.cpu().consume(tid, cm.vreadnet_per_segment,
                                    CycleCategory::kVreadNet, ctx);
     }
-    co_await host_.lan().transfer(host_.lan_id(), kCtrlBytes);
+    co_await host_.lan().transfer(host_.lan_id(), peer->host_.lan_id(), kCtrlBytes);
 
     if (fault::registry().should_fire(fault::points::kPeerDown)) {
       // The peer never answers. Back off and retry (bounded), then report
@@ -775,7 +792,7 @@ sim::Task VReadDaemon::remote_open(hw::ThreadId tid, VReadDaemon* peer,
     co_await peer->run_on_control(std::move(open_job));
 
     // Response back over the wire.
-    co_await host_.lan().transfer(peer->host_.lan_id(), kCtrlBytes);
+    co_await host_.lan().transfer(peer->host_.lan_id(), host_.lan_id(), kCtrlBytes);
     if (transport == Transport::kRdma) {
       co_await host_.cpu().consume(tid, cm.rdma_cqe, CycleCategory::kRdma, ctx);
     } else {
@@ -828,11 +845,12 @@ struct RemoteChunk {
 // signalled through the receiving daemon's mailbox. `wire_name` labels the
 // transport span ("rdma-wire" / "vread-net-wire").
 sim::Task remote_wire_hop(sim::Simulation* sim, hw::Lan* lan, hw::HostId src,
-                          std::uint64_t bytes, sim::Mailbox<RemoteChunk>* arrivals,
-                          RemoteChunk chunk, const char* wire_name, trace::Ctx ctx) {
+                          hw::HostId dst, std::uint64_t bytes,
+                          sim::Mailbox<RemoteChunk>* arrivals, RemoteChunk chunk,
+                          const char* wire_name, trace::Ctx ctx) {
   auto& tr = trace::tracer();
   const sim::SimTime t0 = sim->now();
-  co_await lan->transfer(src, bytes);
+  co_await lan->transfer(src, dst, bytes);
   if (tr.enabled())
     tr.record(ctx, trace::SpanKind::kTransport, wire_name,
               tr.track("lan-wire", "lan"), t0, sim->now(), bytes);
@@ -904,7 +922,7 @@ sim::Task VReadDaemon::stream_remote_read(virt::ShmChannel& channel, hw::ThreadI
     co_await host_.cpu().consume(tid, cm.vreadnet_per_segment,
                                  CycleCategory::kVreadNet, ctx);
   }
-  co_await host_.lan().transfer(host_.lan_id(), kCtrlBytes);
+  co_await host_.lan().transfer(host_.lan_id(), peer->host_.lan_id(), kCtrlBytes);
 
   if (fault::registry().should_fire(fault::points::kPeerDown)) {
     // Peer unreachable mid-stream: report it so the guest library can
@@ -934,9 +952,10 @@ sim::Task VReadDaemon::stream_remote_read(virt::ShmChannel& channel, hw::ThreadI
   const bool coalesce_hint = req.coalesce;
   const bool readahead_hint = req.readahead;
   sim::Simulation* sim = &host_.sim();
+  const hw::HostId home = host_.lan_id();  // chunks land on the requester's host
   std::function<sim::Task(hw::ThreadId)> stream_job =
       [peer, peer_vfd, offset, len, transport, &arrivals, sim, wire_name, tenant,
-       coalesce_hint, readahead_hint, ctx](hw::ThreadId ptid) -> sim::Task {
+       coalesce_hint, readahead_hint, ctx, home](hw::ThreadId ptid) -> sim::Task {
     const hw::CostModel& pcm = peer->host_.costs();
     auto& tr = trace::tracer();
     auto it = peer->descriptors_.find(peer_vfd);
@@ -978,8 +997,8 @@ sim::Task VReadDaemon::stream_remote_read(virt::ShmChannel& channel, hw::ThreadI
           status.ok() ? static_cast<std::int64_t>(buf.size()) : status.to_wire();
       const bool last = !status.ok() || off + n >= end;
       // NIC DMA rides asynchronously; the next disk read overlaps it.
-      sim->spawn(remote_wire_hop(sim, &peer->host_.lan(), peer->host_.lan_id(), n,
-                                 &arrivals, RemoteChunk{std::move(buf), wire, last},
+      sim->spawn(remote_wire_hop(sim, &peer->host_.lan(), peer->host_.lan_id(), home,
+                                 n, &arrivals, RemoteChunk{std::move(buf), wire, last},
                                  wire_name, ctx));
       if (!status.ok()) co_return;
       off += n;

@@ -256,6 +256,21 @@ class VReadDaemon {
   BlockCache& cache() { return cache_; }
   const BlockCache& cache() const { return cache_; }
 
+  // Instantaneous load signal, piggybacked on read completions by
+  // replica-aware routing (cluster::ReplicaSelector): requests in flight
+  // across this daemon's client channels plus the payload bytes those
+  // reads still owe. Cheap enough to sample per completion.
+  struct LoadSignal {
+    std::uint64_t queue_depth = 0;
+    std::uint64_t inflight_bytes = 0;
+  };
+  LoadSignal load_signal() const {
+    LoadSignal s;
+    for (const auto& port : clients_) s.queue_depth += port->channel->inflight();
+    s.inflight_bytes = inflight_read_bytes_;
+    return s;
+  }
+
   // QoS scheduler; nullptr when config_.qos.enabled is false.
   QosScheduler* qos() { return qos_.get(); }
   const QosScheduler* qos() const { return qos_.get(); }
@@ -400,6 +415,9 @@ class VReadDaemon {
   std::map<std::string, LocalMount> local_mounts_;
   std::map<std::string, VReadDaemon*> remote_peers_;
   std::vector<std::unique_ptr<ClientPort>> clients_;
+  // Payload bytes owed by kRead requests currently being served (see
+  // load_signal()).
+  std::uint64_t inflight_read_bytes_ = 0;
   // Weighted-DRR dispatch + admission control (§11); created at
   // construction when config_.qos.enabled.
   std::unique_ptr<QosScheduler> qos_;

@@ -84,14 +84,40 @@ DfsClient::Placement DfsClient::default_placement(int replication) {
       }
     }
     pipeline.push_back(dns[first]);
-    // Remaining replicas rotate over the other datanodes.
+    auto in_pipeline = [&pipeline](const std::string& cand) {
+      for (const std::string& p : pipeline) {
+        if (p == cand) return true;
+      }
+      return false;
+    };
+    // Rack-aware placement (HDFS default policy) once the namenode knows
+    // rack ids: 2nd replica off the 1st's rack, 3rd replica alongside the
+    // 2nd. Fault tolerance across racks, write pipeline mostly in one.
+    if (self->nn_.rack_aware() && replication >= 2) {
+      const std::uint32_t rack1 = self->nn_.rack_of(dns[first]);
+      for (std::size_t i = 1; pipeline.size() < 2 && i <= dns.size(); ++i) {
+        const std::string& cand = dns[(first + i + index) % dns.size()];
+        if (!in_pipeline(cand) && self->nn_.rack_of(cand) != rack1) {
+          pipeline.push_back(cand);
+        }
+      }
+      if (pipeline.size() == 2 && replication >= 3) {
+        const std::uint32_t rack2 = self->nn_.rack_of(pipeline[1]);
+        for (std::size_t i = 1; pipeline.size() < 3 && i <= dns.size(); ++i) {
+          const std::string& cand = dns[(first + i + index) % dns.size()];
+          if (!in_pipeline(cand) && self->nn_.rack_of(cand) == rack2) {
+            pipeline.push_back(cand);
+          }
+        }
+      }
+    }
+    // Remaining replicas rotate over the other datanodes (also the whole
+    // policy when racks are unknown — the pre-topology behavior).
     for (std::size_t i = 1; pipeline.size() < static_cast<std::size_t>(replication) &&
                             i <= dns.size();
          ++i) {
       const std::string& cand = dns[(first + i + index) % dns.size()];
-      bool dup = false;
-      for (const std::string& p : pipeline) dup |= (p == cand);
-      if (!dup) pipeline.push_back(cand);
+      if (!in_pipeline(cand)) pipeline.push_back(cand);
     }
     return pipeline;
   };
@@ -136,12 +162,60 @@ sim::Task DfsClient::remove(const std::string& path) {
   }
 }
 
-const std::string& DfsClient::choose_replica(const BlockInfo& blk) const {
-  for (const std::string& dn : blk.locations) {
-    virt::Vm* dn_vm = const_cast<virt::VirtualNetwork&>(net_).find_vm(dn);
-    if (dn_vm != nullptr && &dn_vm->host() == &vm_.host()) return dn;
+cluster::PathTier DfsClient::replica_tier(const std::string& dn) {
+  virt::Vm* dn_vm = net_.find_vm(dn);
+  if (dn_vm == nullptr) return cluster::PathTier::kCrossRack;
+  if (&dn_vm->host() == &vm_.host()) return cluster::PathTier::kSameHost;
+  hw::Lan& lan = vm_.host().lan();
+  return lan.rack_of(dn_vm->host().lan_id()) == lan.rack_of(vm_.host().lan_id())
+             ? cluster::PathTier::kSameRack
+             : cluster::PathTier::kCrossRack;
+}
+
+const std::string& DfsClient::choose_replica(const BlockInfo& blk) {
+  if (selector_ == nullptr) {
+    for (const std::string& dn : blk.locations) {
+      virt::Vm* dn_vm = net_.find_vm(dn);
+      if (dn_vm != nullptr && &dn_vm->host() == &vm_.host()) return dn;
+    }
+    return blk.locations.front();
   }
-  return blk.locations.front();
+  std::vector<cluster::ReplicaSelector::Candidate> cands;
+  cands.reserve(blk.locations.size());
+  for (const std::string& dn : blk.locations) {
+    cands.push_back({&dn, replica_tier(dn)});
+  }
+  const std::size_t pick = selector_->choose(vm_.host().sim().now(), cands);
+  if (selector_->last_avoided_overload()) route_overload_avoided_.inc();
+  switch (cands[pick].tier) {
+    case cluster::PathTier::kSameHost:
+      route_same_host_.inc();
+      break;
+    case cluster::PathTier::kSameRack:
+      route_same_rack_.inc();
+      break;
+    case cluster::PathTier::kCrossRack:
+      route_cross_rack_.inc();
+      break;
+  }
+  return blk.locations[pick];
+}
+
+void DfsClient::route_feedback(const std::string& dn, std::uint64_t bytes) {
+  if (selector_ == nullptr) return;
+  if (replica_tier(dn) == cluster::PathTier::kCrossRack) {
+    route_cross_rack_bytes_.inc(bytes);
+  }
+  if (load_probe_) {
+    selector_->report(vm_.host().sim().now(), dn, load_probe_(dn));
+    route_feedback_.inc();
+  }
+}
+
+void DfsClient::route_overload(const std::string& dn) {
+  if (selector_ == nullptr) return;
+  selector_->report_overload(vm_.host().sim().now(), dn);
+  route_feedback_.inc();
 }
 
 sim::Task DfsClient::fetch_block_range(const BlockInfo& blk,
@@ -400,7 +474,10 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
           // No descriptor obtained (registry miss, stale mount, transport
           // trouble after the library's retries): degrade, and stop probing
           // until the cooldown expires.
-          if (st.code() == StatusCode::kOverloaded) c.vread_overloaded_.inc();
+          if (st.code() == StatusCode::kOverloaded) {
+            c.vread_overloaded_.inc();
+            c.route_overload(dn);
+          }
           vread_failed = true;
           c.enter_vread_cooldown();
         }
@@ -436,13 +513,19 @@ sim::Task DfsInputStream::read_block_range(const BlockInfo& blk, std::uint64_t o
         c.vfd_cache_g_.set(static_cast<std::int64_t>(c.vfd_hash_.size()));
       }
       c.reads_vread_.inc();
+      // Completion feedback: the serving daemon's load signal rides the
+      // completion back to the selector (docs/TOPOLOGY.md §feedback).
+      c.route_feedback(dn, out.size());
       tr.end_read(ctx, out.size());
       co_return;
     }
     // Shortcut failed mid-flight: drop the descriptor and fall through.
     // Stale descriptors (daemon restarted, snapshot moved) re-open on the
     // next read with no cooldown; anything else starts one.
-    if (st.code() == StatusCode::kOverloaded) c.vread_overloaded_.inc();
+    if (st.code() == StatusCode::kOverloaded) {
+      c.vread_overloaded_.inc();
+      c.route_overload(dn);
+    }
     co_await reader->close(vfd);
     c.vfd_hash_.erase(blk.name);
     c.vfd_cache_g_.set(static_cast<std::int64_t>(c.vfd_hash_.size()));

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/route.h"
 #include "hdfs/block_reader.h"
 #include "hdfs/datanode.h"
 #include "hdfs/namenode.h"
@@ -72,7 +73,25 @@ class DfsClient {
                                      {{"vm", vm.name()}},
                                      "Reads needing a fresh vRead_open")),
         vfd_cache_g_(metrics_.gauge("vread_client_vfd_cache_size", {{"vm", vm.name()}},
-                                    "Descriptors currently cached")) {}
+                                    "Descriptors currently cached")),
+        route_same_host_(metrics_.counter(
+            "vread_route_choices_total", {{"tier", "same-host"}, {"vm", vm.name()}},
+            "Replica selections by path-cost tier of the chosen replica")),
+        route_same_rack_(metrics_.counter(
+            "vread_route_choices_total", {{"tier", "same-rack"}, {"vm", vm.name()}},
+            "Replica selections by path-cost tier of the chosen replica")),
+        route_cross_rack_(metrics_.counter(
+            "vread_route_choices_total", {{"tier", "cross-rack"}, {"vm", vm.name()}},
+            "Replica selections by path-cost tier of the chosen replica")),
+        route_overload_avoided_(metrics_.counter(
+            "vread_route_overload_avoided_total", {{"vm", vm.name()}},
+            "Selections that skipped an overloaded replica for a healthy one")),
+        route_feedback_(metrics_.counter(
+            "vread_route_feedback_reports_total", {{"vm", vm.name()}},
+            "Daemon load reports piggybacked on read completions")),
+        route_cross_rack_bytes_(metrics_.counter(
+            "vread_route_cross_rack_bytes_total", {{"vm", vm.name()}},
+            "Payload bytes this client pulled from cross-rack replicas")) {}
   DfsClient(const DfsClient&) = delete;
   DfsClient& operator=(const DfsClient&) = delete;
 
@@ -154,9 +173,25 @@ class DfsClient {
   // thing happens for a block delete or rename").
   sim::Task remove(const std::string& path);
 
-  // Picks the replica to read: co-located datanode VM first, else the
-  // first location.
-  const std::string& choose_replica(const BlockInfo& blk) const;
+  // Replica-aware routing (docs/TOPOLOGY.md): an installed selector ranks
+  // candidate replicas by path-cost tier and per-daemon load feedback.
+  // Non-owning — apps::Cluster typically shares one selector (and thus one
+  // feedback table) across all its clients. nullptr (the default) keeps
+  // the pre-topology behavior exactly.
+  void set_route(cluster::ReplicaSelector* selector) { selector_ = selector; }
+  cluster::ReplicaSelector* route() { return selector_; }
+
+  // Samples the serving daemon's load at read completion (models the
+  // zero-wire-cost piggyback — the signal rides the completion message).
+  using LoadProbe = std::function<cluster::DaemonLoad(const std::string& dn_id)>;
+  void set_load_probe(LoadProbe probe) { load_probe_ = std::move(probe); }
+
+  // Path-cost tier of replica `dn` relative to this client's host.
+  cluster::PathTier replica_tier(const std::string& dn);
+
+  // Picks the replica to read. Without a selector: co-located datanode VM
+  // first, else the first location. With one: the selector's policy.
+  const std::string& choose_replica(const BlockInfo& blk);
 
   // Vanilla path: one-shot block-range fetch over a fresh connection
   // (Algorithm 2's fetchBlocks).
@@ -200,12 +235,19 @@ class DfsClient {
   };
   std::unordered_map<std::string, CachedConn> pread_conns_;
 
+  // Reports a read completion (and any overload observation) to the
+  // installed selector; no-op without one.
+  void route_feedback(const std::string& dn, std::uint64_t bytes);
+  void route_overload(const std::string& dn);
+
   virt::Vm& vm_;
   NameNode& nn_;
   virt::VirtualNetwork& net_;
   BlockReader* reader_ = nullptr;
   bool short_circuit_ = false;
   std::size_t pread_parallelism_ = 4;
+  cluster::ReplicaSelector* selector_ = nullptr;
+  LoadProbe load_probe_;
 
   // Degradation state.
   sim::SimTime fallback_until_ = 0;                     // 0 = shortcut healthy
@@ -224,6 +266,12 @@ class DfsClient {
   metrics::Counter& vfd_hits_;
   metrics::Counter& vfd_misses_;
   metrics::Gauge& vfd_cache_g_;
+  metrics::Counter& route_same_host_;
+  metrics::Counter& route_same_rack_;
+  metrics::Counter& route_cross_rack_;
+  metrics::Counter& route_overload_avoided_;
+  metrics::Counter& route_feedback_;
+  metrics::Counter& route_cross_rack_bytes_;
 };
 
 // Streaming writer for one HDFS file (the paper's DFSOutputStream, whose

@@ -86,14 +86,26 @@ class NameNode {
   void register_listener(Listener l) { listeners_.push_back(std::move(l)); }
 
   // Datanode membership (heartbeat registration); used by the default
-  // block-placement policy.
+  // block-placement policy. The optional rack id (docs/TOPOLOGY.md) feeds
+  // rack-aware placement: once any datanode registers a rack, the default
+  // placement follows the HDFS rule (2nd replica off-rack, 3rd replica in
+  // the 2nd's rack).
   void register_datanode(const std::string& dn_id) {
     for (const std::string& d : datanodes_) {
       if (d == dn_id) return;
     }
     datanodes_.push_back(dn_id);
   }
+  void register_datanode(const std::string& dn_id, std::uint32_t rack) {
+    register_datanode(dn_id);
+    racks_[dn_id] = rack;
+  }
   const std::vector<std::string>& datanodes() const { return datanodes_; }
+  bool rack_aware() const { return !racks_.empty(); }
+  std::uint32_t rack_of(const std::string& dn_id) const {
+    auto it = racks_.find(dn_id);
+    return it == racks_.end() ? 0 : it->second;
+  }
 
   std::uint64_t rpc_count() const { return rpc_count_; }
 
@@ -117,6 +129,7 @@ class NameNode {
   const hw::CostModel& costs_;
   std::map<std::string, FileMeta> files_;
   std::vector<std::string> datanodes_;
+  std::map<std::string, std::uint32_t> racks_;  // dn_id -> rack (when known)
   std::vector<Listener> listeners_;
   std::uint64_t next_block_id_ = 1000;
   std::uint64_t rpc_count_ = 0;

@@ -7,6 +7,7 @@
 // link objects.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -36,29 +37,31 @@ class NetworkLink {
     std::uint64_t bytes;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      link.sim_.resume_at(link.schedule(bytes), h);
+      link.sim_.resume_at(link.schedule_at(link.sim_.now(), bytes), h);
     }
     void await_resume() const noexcept {}
   };
 
   // Awaitable: completes when the last byte arrives at the receiver.
-  TransferAwaiter transfer(std::uint64_t bytes) {
+  TransferAwaiter transfer(std::uint64_t bytes) { return TransferAwaiter{*this, bytes}; }
+
+  // Store-and-forward building block: schedules `bytes` onto the link no
+  // earlier than `earliest` and returns the arrival time at the far end.
+  // Multi-hop paths chain this — each hop starts once the previous hop's
+  // last byte has landed.
+  sim::SimTime schedule_at(sim::SimTime earliest, std::uint64_t bytes) {
     bytes_sent_ += bytes;
-    return TransferAwaiter{*this, bytes};
+    const double bw = config_.bw_gbps * 1e9 / 8.0;  // bytes per second
+    const sim::SimTime xfer =
+        static_cast<sim::SimTime>(static_cast<double>(bytes) / bw * 1e9);
+    sim::SimTime depart = std::max(earliest, next_free_) + xfer;
+    next_free_ = depart;
+    return depart + config_.propagation;
   }
 
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
  private:
-  sim::SimTime schedule(std::uint64_t bytes) {
-    const double bw = config_.bw_gbps * 1e9 / 8.0;  // bytes per second
-    const sim::SimTime xfer =
-        static_cast<sim::SimTime>(static_cast<double>(bytes) / bw * 1e9);
-    sim::SimTime depart = std::max(sim_.now(), next_free_) + xfer;
-    next_free_ = depart;
-    return depart + config_.propagation;
-  }
-
   sim::Simulation& sim_;
   Config config_;
   sim::SimTime next_free_ = 0;
@@ -67,8 +70,21 @@ class NetworkLink {
 
 // Switched LAN: each host gets one egress link; sending serializes on the
 // sender's NIC (full-duplex switch fabric assumed non-blocking).
+//
+// Rack topology (optional, see docs/TOPOLOGY.md): configure_racks() groups
+// hosts into fixed-size racks, each with a top-of-rack switch. Same-rack
+// traffic still only serializes on the sender's NIC; cross-rack traffic
+// additionally crosses the source rack's ToR uplink and the destination
+// rack's ToR downlink — shared, possibly oversubscribed links where rack-
+// scale contention shows up.
 class Lan {
  public:
+  struct RackConfig {
+    std::uint32_t hosts_per_rack = 0;  // 0 = flat LAN (no racks)
+    NetworkLink::Config uplink{};      // ToR<->spine link, per direction
+    double oversubscription = 1.0;     // divides uplink bandwidth (e.g. 4.0 = 4:1)
+  };
+
   Lan(sim::Simulation& sim, NetworkLink::Config link_config = {})
       : sim_(sim), link_config_(link_config) {}
 
@@ -77,18 +93,75 @@ class Lan {
     return static_cast<HostId>(links_.size() - 1);
   }
 
-  // Awaitable transfer from `src`'s NIC to any destination host.
+  // Groups hosts into racks of `rc.hosts_per_rack` (host ids are assigned
+  // sequentially, so rack = id / hosts_per_rack). ToR links are created
+  // lazily, so hosts may be added after configuration. hosts_per_rack == 0
+  // restores the flat non-blocking fabric.
+  void configure_racks(const RackConfig& rc) {
+    rack_cfg_ = rc;
+    tor_link_cfg_ = rc.uplink;
+    tor_link_cfg_.bw_gbps = rc.uplink.bw_gbps / std::max(1.0, rc.oversubscription);
+    rack_up_.clear();
+    rack_down_.clear();
+  }
+
+  bool racked() const { return rack_cfg_.hosts_per_rack != 0; }
+  std::uint32_t rack_of(HostId host) const {
+    return racked() ? host / rack_cfg_.hosts_per_rack : 0;
+  }
+
+  struct PathAwaiter {
+    Lan& lan;
+    HostId src, dst;
+    std::uint64_t bytes;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      lan.sim_.resume_at(lan.route(src, dst, bytes), h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  // Awaitable transfer honoring rack topology. With no racks configured
+  // (or src/dst in the same rack) this is exactly the sender-NIC
+  // serialization the flat LAN always modeled.
+  PathAwaiter transfer(HostId src, HostId dst, std::uint64_t bytes) {
+    return PathAwaiter{*this, src, dst, bytes};
+  }
+
+  // Destination-blind form (legacy call sites / broadcasts): egress
+  // serialization only, identical to a same-rack transfer.
   NetworkLink::TransferAwaiter transfer(HostId src, std::uint64_t bytes) {
     return links_[src]->transfer(bytes);
   }
 
   NetworkLink& egress(HostId host) { return *links_[host]; }
   std::size_t host_count() const { return links_.size(); }
+  std::uint64_t cross_rack_bytes() const { return cross_rack_bytes_; }
 
  private:
+  sim::SimTime route(HostId src, HostId dst, std::uint64_t bytes) {
+    sim::SimTime t = links_[src]->schedule_at(sim_.now(), bytes);
+    if (racked() && rack_of(src) != rack_of(dst)) {
+      t = tor(rack_up_, rack_of(src)).schedule_at(t, bytes);
+      t = tor(rack_down_, rack_of(dst)).schedule_at(t, bytes);
+      cross_rack_bytes_ += bytes;
+    }
+    return t;
+  }
+
+  NetworkLink& tor(std::vector<std::unique_ptr<NetworkLink>>& v, std::uint32_t rack) {
+    while (v.size() <= rack) v.push_back(std::make_unique<NetworkLink>(sim_, tor_link_cfg_));
+    return *v[rack];
+  }
+
   sim::Simulation& sim_;
   NetworkLink::Config link_config_;
   std::vector<std::unique_ptr<NetworkLink>> links_;
+  RackConfig rack_cfg_{};
+  NetworkLink::Config tor_link_cfg_{};  // uplink config with oversubscription applied
+  std::vector<std::unique_ptr<NetworkLink>> rack_up_;    // rack -> spine
+  std::vector<std::unique_ptr<NetworkLink>> rack_down_;  // spine -> rack
+  std::uint64_t cross_rack_bytes_ = 0;
 };
 
 // RDMA-capable NIC view over the converged-Ethernet LAN: RoCE payloads ride

@@ -1,21 +1,94 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace vread::sim {
 
 Simulation::~Simulation() {
   // Drop pending events first: they may hold handles into detached frames.
-  while (!queue_.empty()) queue_.pop();
+  clear_events();
+}
+
+void Simulation::clear_events() {
+  for (Bucket& b : wheel_) {
+    b.ev.clear();
+    b.heaped = false;
+  }
+  far_.clear();
+  near_count_ = 0;
+  size_ = 0;
+}
+
+void Simulation::push_event(Event e) {
+  if (e.time < now_) throw SimError("post_at: scheduling into the past");
+  const std::uint64_t epoch = epoch_of(e.time);
+  if (epoch >= win_lo_ + kWheelSize) {
+    far_.push_back(std::move(e));
+    std::push_heap(far_.begin(), far_.end(), EventLater{});
+  } else {
+    // Invariant: win_lo_ <= epoch_of(now_) <= epoch, so the slot mapping
+    // is unambiguous (the window only slides forward when it is empty).
+    Bucket& b = slot(epoch);
+    b.ev.push_back(std::move(e));
+    if (b.heaped) std::push_heap(b.ev.begin(), b.ev.end(), EventLater{});
+    if (epoch < cursor_) cursor_ = epoch;  // landed behind the drain point
+    ++near_count_;
+  }
+  ++size_;
+}
+
+SimTime Simulation::peek_time() {
+  if (near_count_ == 0) {
+    // Earliest pending event lives in the far heap; the window slides to
+    // it only at pop time (between peek and pop nothing else runs).
+    return far_.front().time;
+  }
+  if (cursor_ < win_lo_) cursor_ = win_lo_;
+  while (slot(cursor_).ev.empty()) {
+    slot(cursor_).heaped = false;
+    ++cursor_;
+  }
+  Bucket& b = slot(cursor_);
+  if (!b.heaped) {
+    std::make_heap(b.ev.begin(), b.ev.end(), EventLater{});
+    b.heaped = true;
+  }
+  return b.ev.front().time;
+}
+
+Simulation::Event Simulation::pop_event() {
+  if (near_count_ == 0) {
+    // Slide the window to the far heap's earliest epoch and pull every far
+    // event that now fits. The popped event's time becomes `now_`
+    // immediately after, so no push can land before the new window.
+    win_lo_ = epoch_of(far_.front().time);
+    cursor_ = win_lo_;
+    while (!far_.empty() && epoch_of(far_.front().time) < win_lo_ + kWheelSize) {
+      std::pop_heap(far_.begin(), far_.end(), EventLater{});
+      Bucket& b = slot(epoch_of(far_.back().time));
+      b.ev.push_back(std::move(far_.back()));
+      far_.pop_back();
+      ++near_count_;
+    }
+  }
+  peek_time();  // positions cursor_ on the earliest non-empty bucket, heaped
+  Bucket& b = slot(cursor_);
+  std::pop_heap(b.ev.begin(), b.ev.end(), EventLater{});
+  Event e = std::move(b.ev.back());
+  b.ev.pop_back();
+  if (b.ev.empty()) b.heaped = false;
+  --near_count_;
+  --size_;
+  return e;
 }
 
 void Simulation::post_at(SimTime at, std::function<void()> fn) {
-  if (at < now_) throw SimError("post_at: scheduling into the past");
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  push_event(Event{at, next_seq_++, {}, std::move(fn)});
 }
 
 void Simulation::resume_at(SimTime at, std::coroutine_handle<> h) {
-  post_at(at, [h] { h.resume(); });
+  push_event(Event{at, next_seq_++, h, {}});
 }
 
 void Simulation::spawn(Task task) {
@@ -25,7 +98,7 @@ void Simulation::spawn(Task task) {
   detached_.push_back(std::move(task));
   // Start the coroutine from the event loop, not inline, so spawn order and
   // event order commute deterministically.
-  post_at(now_, [h] { h.resume(); });
+  resume_at(now_, h);
 }
 
 void Simulation::reap_detached(bool force) {
@@ -60,20 +133,17 @@ void Simulation::check_failure() {
 void Simulation::run() { run_until(INT64_MAX); }
 
 void Simulation::run_until(SimTime deadline) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.time > deadline) {
+  while (size_ != 0) {
+    const SimTime top_time = peek_time();
+    if (top_time > deadline) {
       now_ = deadline;
       check_failure();
       return;
     }
-    // Copy out before pop: fn may post new events.
-    SimTime t = top.time;
-    std::function<void()> fn = std::move(const_cast<Event&>(top).fn);
-    queue_.pop();
-    now_ = t;
+    Event e = pop_event();
+    now_ = e.time;
     ++events_dispatched_;
-    fn();
+    e.fire();
     if ((events_dispatched_ & 1023) == 0) reap_detached(/*force=*/false);
     if (detached_failure_) check_failure();
   }

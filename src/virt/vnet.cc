@@ -57,7 +57,7 @@ sim::Task TcpConn::wire_hop(hw::HostId src, std::uint64_t bytes, Vm* receiver,
   auto& tr = trace::tracer();
   const trace::Ctx ctx = seg->ctx;
   const sim::SimTime t0 = net_.sim_.now();
-  co_await net_.lan_.transfer(src, bytes);
+  co_await net_.lan_.transfer(src, receiver->host().lan_id(), bytes);
   if (tr.enabled())
     tr.record(ctx, trace::SpanKind::kTransport, "lan-wire", tr.track("lan-wire", "lan"),
               t0, net_.sim_.now(), bytes);

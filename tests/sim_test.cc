@@ -2,6 +2,8 @@
 // tasks, synchronization primitives, and determinism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -346,6 +348,90 @@ TEST(Determinism, DifferentSeedDifferentTrace) {
   auto t1 = run_det_workload(123);
   auto t2 = run_det_workload(456);
   EXPECT_NE(t1, t2);
+}
+
+// Calendar-queue internals (DESIGN.md §13): the wheel covers ~4.2 ms of
+// near future; events beyond it park in the far heap and migrate into the
+// wheel as the window slides. None of that machinery may be observable —
+// dispatch order must stay exactly (time, seq).
+
+TEST(CalendarQueue, FarFutureEventsCrossTheWindowInOrder) {
+  // Times straddle the wheel boundary: some land in the current window,
+  // some far beyond it (seconds out), interleaved at post time.
+  Simulation sim;
+  std::vector<SimTime> fired;
+  const std::vector<SimTime> times = {sec(2),  us(100), sec(1), us(4200),
+                                      ms(500), us(1),   sec(3), ms(4)};
+  for (SimTime t : times) {
+    sim.post_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  sim.run();
+  std::vector<SimTime> sorted = times;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(fired, sorted);
+  EXPECT_EQ(sim.events_dispatched(), times.size());
+}
+
+TEST(CalendarQueue, SameTimeOrderSurvivesWindowRebase) {
+  // Events posted in one order at a time far beyond the current window
+  // must still fire in post order after the far heap drains into the
+  // wheel (the (time, seq) tie-break survives the migration).
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    sim.post_at(sec(5), [&order, i] { order.push_back(i); });
+  }
+  sim.post_at(ms(1), [] {});  // near event forces a later window rebase
+  sim.run();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(CalendarQueue, InterleavedPushPopStaysSorted) {
+  // Handlers keep scheduling new work — some near (same wheel window),
+  // some far (forces window slides) — while the queue drains. The
+  // dispatch sequence must be non-decreasing in time throughout.
+  Simulation sim;
+  Rng rng(2024);
+  std::vector<SimTime> fired;
+  int remaining = 2000;
+  std::function<void()> chain = [&] {
+    fired.push_back(sim.now());
+    if (--remaining <= 0) return;
+    // 1 us .. 20 ms: spans within-bucket, cross-bucket and far-heap.
+    sim.post_at(sim.now() + static_cast<SimTime>(rng.uniform(1, 20000)) * kMicrosecond,
+                chain);
+    if (remaining % 7 == 0) {
+      sim.post_at(sim.now() + static_cast<SimTime>(rng.uniform(1, 100)), [&fired, &sim] {
+        fired.push_back(sim.now());
+      });
+      --remaining;
+    }
+  };
+  sim.post_at(0, chain);
+  sim.run();
+  ASSERT_GE(fired.size(), 2000u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_LE(fired[i - 1], fired[i]) << i;
+  }
+}
+
+TEST(CalendarQueue, IdleGapRebasesWindowCleanly) {
+  // Long silent stretches between bursts: every burst lands in a window
+  // far from the previous one, so each pop rebases the wheel.
+  Simulation sim;
+  std::vector<SimTime> fired;
+  for (int burst = 0; burst < 10; ++burst) {
+    const SimTime base = sec(burst * 7);
+    for (int j = 0; j < 5; ++j) {
+      sim.post_at(base + static_cast<SimTime>(j) * us(10),
+                  [&fired, &sim] { fired.push_back(sim.now()); });
+    }
+  }
+  sim.run();
+  ASSERT_EQ(fired.size(), 50u);
+  for (std::size_t i = 1; i < fired.size(); ++i) EXPECT_LT(fired[i - 1], fired[i]);
+  EXPECT_EQ(sim.now(), sec(63) + us(40));
 }
 
 }  // namespace

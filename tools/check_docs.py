@@ -3,14 +3,20 @@
 
 Checks, over every tracked *.md file:
   1. relative markdown links ([text](path) and [text](path#anchor)) resolve
-     to files/directories that exist in the repository;
+     to files/directories that exist in the repository, and `#anchor`
+     fragments pointing into markdown files (including pure in-page
+     anchors) resolve to a real heading's GitHub slug;
   2. every `./build/<dir>/<name>` command mentioned in a fenced ``sh``
      block refers to a target that some CMakeLists.txt actually defines
      (add_executable/vread_test/plain name mention), so the docs can't
      drift ahead of the build;
   3. every `vread_*` metric name registered in the sources (counter/
      gauge/histogram call sites under src/ and bench/) appears in
-     docs/METRICS.md, so new series can't ship undocumented.
+     docs/METRICS.md, so new series can't ship undocumented;
+  4. every field of every configuration struct (DaemonConfig, QosConfig,
+     ClusterConfig, TopologyConfig, RouteConfig, FlowSimConfig, ...) is
+     documented in docs/CONFIG.md — the field names are parsed straight
+     out of the headers, so a new knob can't ship undocumented either.
 
 Exit code 0 = clean; 1 = problems (all printed).
 """
@@ -33,17 +39,45 @@ def md_files():
             yield p
 
 
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*$", re.M)
+
+
+def github_slug(heading):
+    """The anchor GitHub generates for a heading: lowercase, punctuation
+    stripped (keeping word chars, hyphens and spaces), spaces -> hyphens."""
+    h = heading.replace("`", "").strip().lower()
+    h = re.sub(r"[^\w\- ]", "", h)
+    return h.replace(" ", "-")
+
+
+def heading_slugs(md_path, cache={}):
+    if md_path not in cache:
+        slugs = set()
+        for m in HEADING_RE.finditer(md_path.read_text()):
+            slugs.add(github_slug(m.group(1)))
+        cache[md_path] = slugs
+    return cache[md_path]
+
+
 def check_links(path, text, problems):
     for m in LINK_RE.finditer(text):
         target = m.group(1)
         if target.startswith(("http://", "https://", "mailto:")):
             continue
-        target = target.split("#", 1)[0]
-        if not target:
-            continue  # pure in-page anchor
-        resolved = (path.parent / target).resolve()
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve() if file_part else path
         if not resolved.exists():
             problems.append(f"{path.relative_to(ROOT)}: broken link -> {m.group(1)}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            slugs = heading_slugs(resolved)
+            # Duplicate headings get a -N suffix on GitHub; accept those too.
+            base = re.sub(r"-\d+$", "", anchor)
+            if anchor not in slugs and base not in slugs:
+                problems.append(
+                    f"{path.relative_to(ROOT)}: dead anchor -> {m.group(1)} "
+                    f"(no heading slugs to '#{anchor}')"
+                )
 
 
 def cmake_targets():
@@ -137,6 +171,93 @@ def check_metric_docs(problems):
             )
 
 
+# Configuration structs whose every field must appear (backticked) in
+# docs/CONFIG.md. The parser below reads the real headers, so adding a
+# knob without documenting it fails CI.
+CONFIG_STRUCTS = [
+    ("src/core/vread_daemon.h", "DaemonConfig"),
+    ("src/core/vread_daemon.h", "CoalesceConfig"),
+    ("src/core/qos.h", "QosConfig"),
+    ("src/fault/status.h", "RetryPolicy"),
+    ("src/apps/cluster.h", "ClusterConfig"),
+    ("src/hw/network.h", "Config"),      # NetworkLink::Config
+    ("src/hw/network.h", "RackConfig"),  # Lan::RackConfig
+    ("src/hw/disk.h", "Config"),         # Disk::Config
+    ("src/cluster/topology.h", "TopologyConfig"),
+    ("src/cluster/route.h", "RouteConfig"),
+    ("src/cluster/flowsim.h", "FlowSimConfig"),
+]
+
+
+def strip_comments(text):
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+
+
+def struct_body(text, name):
+    """The brace-matched body of the FIRST `struct <name> {...}` in text."""
+    m = re.search(r"struct\s+" + re.escape(name) + r"\s*\{", text)
+    if not m:
+        return None
+    depth, i = 1, m.end()
+    start = i
+    while i < len(text) and depth:
+        depth += {"{": 1, "}": -1}.get(text[i], 0)
+        i += 1
+    return text[start:i - 1]
+
+
+def struct_fields(body):
+    """Data-member names of a struct body (functions and nested types
+    skipped; nested-struct FIELDS of this struct are included)."""
+    # Blank everything inside nested braces (function bodies, nested
+    # struct definitions, aggregate initializers) so only this struct's
+    # own declarations survive as `;`-terminated statements.
+    flat, depth = [], 0
+    for ch in body:
+        if ch == "{":
+            depth += 1
+            flat.append("{")
+        elif ch == "}":
+            depth -= 1
+            flat.append("}")
+        else:
+            flat.append(ch if depth == 0 else " ")
+    fields = []
+    for stmt in "".join(flat).split(";"):
+        decl = re.split(r"[={]", stmt, 1)[0].strip()
+        if not decl or "(" in decl:
+            continue  # function declaration/definition
+        if re.match(r"(struct|class|enum|using|public|private|protected)\b", decl):
+            continue
+        m = re.search(r"([A-Za-z_]\w*)\s*$", decl)
+        if m:
+            fields.append(m.group(1))
+    return fields
+
+
+def check_config_docs(problems):
+    doc_path = ROOT / "docs" / "CONFIG.md"
+    if not doc_path.exists():
+        problems.append("docs/CONFIG.md: missing (config-knob check)")
+        return
+    doc = doc_path.read_text()
+    for rel, struct in CONFIG_STRUCTS:
+        path = ROOT / rel
+        if not path.exists():
+            problems.append(f"{rel}: missing (config-knob check for {struct})")
+            continue
+        body = struct_body(strip_comments(path.read_text()), struct)
+        if body is None:
+            problems.append(f"{rel}: struct {struct} not found (config-knob check)")
+            continue
+        for field in struct_fields(body):
+            if f"`{field}`" not in doc:
+                problems.append(
+                    f"{rel}: {struct}::{field} is not documented in docs/CONFIG.md"
+                )
+
+
 def main():
     problems = []
     targets = cmake_targets()
@@ -144,6 +265,7 @@ def main():
         problems.append("no CMake targets found — is this the repo root?")
     check_schema_versions(problems)
     check_metric_docs(problems)
+    check_config_docs(problems)
     for path in md_files():
         text = path.read_text()
         check_links(path, text, problems)
